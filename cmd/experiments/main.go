@@ -1,0 +1,288 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation at a configurable scale and writes the artefacts (density
+// fields, series, breakdowns) to an output directory:
+//
+//	fig1   near-continuum density contours (shock angle 45°, ratio 3.7,
+//	       thickness ≈ 3 cells)
+//	fig2   near-continuum density surface (wake shock present)
+//	fig3   near-continuum stagnation-region surface
+//	fig4   rarefied density contours (λ∞ = 0.5, thickness ≈ 5 cells)
+//	fig5   rarefied density surface (wake shock washed out)
+//	fig6   rarefied stagnation-region surface
+//	fig7   per-particle time vs total particles (fixed machine)
+//	phases distribution of computational time over the four sub-steps
+//	compare  CM backend vs sequential reference per-particle time
+//
+// Run all with defaults (a few minutes):
+//
+//	experiments -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dsmc"
+	"dsmc/internal/cm"
+	"dsmc/internal/cmsim"
+	"dsmc/internal/report"
+	"dsmc/internal/sim"
+)
+
+type harness struct {
+	perCell float64
+	steps   int
+	avg     int
+	procs   int
+	seed    uint64
+	outDir  string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var h harness
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare")
+	flag.Float64Var(&h.perCell, "percell", 8, "particles per cell (75 = paper scale)")
+	flag.IntVar(&h.steps, "steps", 600, "steps to steady state (paper: 1200)")
+	flag.IntVar(&h.avg, "avg", 300, "averaging steps (paper: 2000)")
+	flag.IntVar(&h.procs, "procs", 32768, "physical processors for the CM backend (paper: 32k)")
+	flag.Uint64Var(&h.seed, "seed", 1988, "random seed")
+	flag.StringVar(&h.outDir, "out", "results", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(h.outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	run := map[string]func() error{
+		"fig1":    func() error { return h.contourFigs(0) },
+		"fig4":    func() error { return h.contourFigs(0.5) },
+		"fig7":    h.fig7,
+		"phases":  h.phases,
+		"compare": h.compare,
+	}
+	// figs 2/3 and 5/6 are produced by the same runs as 1 and 4.
+	run["fig2"], run["fig3"] = run["fig1"], run["fig1"]
+	run["fig5"], run["fig6"] = run["fig4"], run["fig4"]
+
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "fig4", "fig7", "phases", "compare"} {
+			fmt.Printf("=== %s ===\n", name)
+			if err := run[name](); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if err := f(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// contourFigs runs the wedge flow for one rarefaction setting and emits
+// the contour figure, the surface figure and the stagnation window
+// (figures 1–3 for λ=0, figures 4–6 for λ=0.5).
+func (h *harness) contourFigs(lambda float64) error {
+	tag := "nearcontinuum"
+	if lambda > 0 {
+		tag = "rarefied"
+	}
+	cfg := dsmc.PaperConfig()
+	cfg.ParticlesPerCell = h.perCell
+	cfg.MeanFreePath = lambda
+	cfg.Seed = h.seed
+	s, err := dsmc.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d flow particles, %d steps + %d averaging\n",
+		tag, s.NFlow(), h.steps, h.avg)
+	s.Run(h.steps)
+	field := s.SampleDensity(h.avg)
+	th := s.Theory()
+
+	t := report.NewTable("Mach 4 / 30° wedge, "+tag, "quantity", "measured", "paper/theory")
+	t.AddRow("shock angle (deg)", field.ShockAngleDeg(), th.ShockAngleDeg)
+	t.AddRow("post-shock density ratio", field.PostShockMean(), th.DensityRatio)
+	paperThick := 3.0
+	if lambda > 0 {
+		paperThick = 5.0
+	}
+	t.AddRow("shock thickness (cells)", field.ShockThickness(), paperThick)
+	t.AddRow("wake contrast (lower wall)", field.WakeContrast(), "present vs washed out")
+	t.AddRow("wake recovery x (cells)", field.WakeRecoveryX(), "moves downstream when rarefied")
+	t.AddRow("wake steepness (1/cell)", field.WakeSteepness(), "falls when rarefied")
+	t.AddRow("wake base density", field.WakeBaseDensity(), "drops sharply when rarefied")
+	t.AddRow("freestream density", field.FreestreamMean(), 1.0)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Contour figure (fig 1 / fig 4): CSV field + contour segment counts.
+	if err := h.writeField(tag+"_density", field); err != nil {
+		return err
+	}
+	var levels []float64
+	for l := 1.25; l < th.DensityRatio; l += 0.5 {
+		levels = append(levels, l)
+	}
+	var b strings.Builder
+	for _, l := range levels {
+		fmt.Fprintf(&b, "level %.2f: %d segments\n", l, len(field.Contours(l)))
+	}
+	if err := os.WriteFile(filepath.Join(h.outDir, tag+"_contours.txt"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	// Surface figure (fig 2 / fig 5).
+	if err := os.WriteFile(filepath.Join(h.outDir, tag+"_surface.txt"),
+		[]byte(field.Surface(10)), 0o644); err != nil {
+		return err
+	}
+	// Stagnation-region zoom (fig 3 / fig 6).
+	zoom := field.Window(30, 0, 50, 20)
+	if err := h.writeField(tag+"_stagnation", zoom); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (h *harness) writeField(name string, f *dsmc.Field) error {
+	csvF, err := os.Create(filepath.Join(h.outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	if err := f.WriteCSV(csvF); err != nil {
+		return err
+	}
+	pgmF, err := os.Create(filepath.Join(h.outDir, name+".pgm"))
+	if err != nil {
+		return err
+	}
+	defer pgmF.Close()
+	return f.WritePGM(pgmF)
+}
+
+// fig7 sweeps the total particle count at fixed machine size.
+func (h *harness) fig7() error {
+	base := sim.DefaultConfig(1)
+	base.Seed = h.seed
+	freeVol := float64(base.NX*base.NY) - base.Wedge.Base*base.Wedge.Height()/2
+	startPerCell := float64(h.procs) / freeVol / 1.1
+	steps := 20
+	table := report.NewTable(
+		fmt.Sprintf("Figure 7 — fixed machine of %d processors", h.procs),
+		"particles", "vp-ratio", "model-us/p/step", "wall-us/p/step")
+	var xs, ys []float64
+	for k := 0; k < 5; k++ {
+		cfg := base
+		cfg.NPerCell = startPerCell * float64(int(1)<<uint(k))
+		s, err := cmsim.New(cmsim.Config{Sim: cfg, PhysProcs: h.procs})
+		if err != nil {
+			return err
+		}
+		s.Run(steps)
+		book := s.Machine().Cost()
+		n := float64(s.NFlow())
+		modelUs := cm.ModelSeconds(book.TotalCycles()) * 1e6 / n / float64(steps)
+		wallUs := book.TotalWall().Seconds() * 1e6 / n / float64(steps)
+		table.AddRow(s.Machine().VPs(), s.Machine().VPR(), modelUs, wallUs)
+		xs = append(xs, float64(s.Machine().VPs()))
+		ys = append(ys, modelUs)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(h.outDir, "fig7.txt"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return report.Series(out, "Figure 7", "particles", "model-us/p/step", xs, ys)
+}
+
+// phases reports the distribution of computational time over the four
+// sub-steps on the CM backend (paper: move 14%, sort 27%, select 20%,
+// collide 39%).
+func (h *harness) phases() error {
+	cfg := sim.DefaultConfig(1)
+	// The paper's breakdown is measured at full scale (VP ratio 16).
+	cfg.NPerCell = 75
+	cfg.Seed = h.seed
+	s, err := cmsim.New(cmsim.Config{Sim: cfg, PhysProcs: h.procs})
+	if err != nil {
+		return err
+	}
+	s.Run(5)
+	s.Machine().ResetCost()
+	s.Run(30)
+	book := s.Machine().Cost()
+	parts := map[string]float64{}
+	for _, name := range book.Phases() {
+		if c := book.Phase(name).Cycles; c > 0 {
+			parts[name] = float64(c)
+		}
+	}
+	if err := report.Percentages(os.Stdout,
+		"Distribution of computational time (CM cost model)", parts); err != nil {
+		return err
+	}
+	fmt.Println("paper: collide 39%, sort 27%, select 20%, move+bc 14%")
+	out, err := os.Create(filepath.Join(h.outDir, "phases.txt"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return report.Percentages(out, "phase cycle distribution", parts)
+}
+
+// compare measures per-particle wall time of the sequential reference
+// (the Cray surrogate) against the CM backend's modelled and wall time.
+func (h *harness) compare() error {
+	steps := 60
+	cfg := dsmc.PaperConfig()
+	// The headline comparison is quoted at full paper scale: 512k
+	// particles on the 32k-processor machine (VP ratio 16).
+	cfg.ParticlesPerCell = 75
+	cfg.Seed = h.seed
+
+	ref, err := dsmc.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	ref.Run(steps)
+	refUs := ref.MicrosecondsPerParticleStep()
+
+	cfg.Backend = dsmc.ConnectionMachine
+	cfg.PhysProcs = h.procs
+	cmS, err := dsmc.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	cmS.Run(steps)
+	cmWallUs := cmS.MicrosecondsPerParticleStep()
+	var cmModelUs float64
+	var totalCycles int64
+	for _, c := range cmS.ModelPhaseCycles() {
+		totalCycles += c
+	}
+	cmModelUs = cm.ModelSeconds(totalCycles) * 1e6 / float64(cmS.NFlow()) / float64(steps)
+
+	t := report.NewTable("Per-particle time comparison (µs/particle/step)",
+		"implementation", "measured", "paper")
+	t.AddRow("sequential reference (Cray-2 role)", refUs, 0.5)
+	t.AddRow("CM backend, wall clock", cmWallUs, "-")
+	t.AddRow(fmt.Sprintf("CM cost model (%d procs; paper 32k)", h.procs), cmModelUs, 7.2)
+	t.AddRow("model/reference ratio", cmModelUs/math.Max(refUs, 1e-9), 7.2/0.5)
+	return t.Render(os.Stdout)
+}

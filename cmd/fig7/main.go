@@ -1,0 +1,78 @@
+// Command fig7 reproduces Figure 7 of the paper: computational time per
+// particle per time step as a function of the total number of particles,
+// with the machine size held fixed so the virtual processor ratio tracks
+// the particle count. Both the Connection Machine cost model's cycle time
+// and the host wall-clock time are reported; the paper's curve falls from
+// ~10.5 to ~7.2 µs between 32k and 512k particles, with the largest step
+// between VP ratio 1 and 2 (collision pairs become on-processor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dsmc/internal/cm"
+	"dsmc/internal/cmsim"
+	"dsmc/internal/report"
+	"dsmc/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig7: ")
+	var (
+		procs  = flag.Int("procs", 4096, "physical processors (paper: 32k)")
+		steps  = flag.Int("steps", 20, "time steps per measurement")
+		points = flag.Int("points", 5, "number of doubling points (paper: 32k..512k = 5)")
+		seed   = flag.Uint64("seed", 1988, "random seed")
+	)
+	flag.Parse()
+
+	base := sim.DefaultConfig(1)
+	base.Seed = *seed
+
+	// The paper varies total particles with the machine fixed; particle
+	// count scales with NPerCell. Start near VP ratio 1.
+	freeVol := freeVolume(base)
+	startPerCell := float64(*procs) / freeVol / 1.1 // ≈ VPR 1 including reservoir
+
+	table := report.NewTable(
+		fmt.Sprintf("Figure 7 — per-particle time vs total particles (machine fixed at %d processors)", *procs),
+		"particles", "vp-ratio", "model-us/p/step", "wall-us/p/step", "router-msgs/p/step")
+	for k := 0; k < *points; k++ {
+		perCell := startPerCell * float64(int(1)<<uint(k))
+		cfg := base
+		cfg.NPerCell = perCell
+		s, err := cmsim.New(cmsim.Config{Sim: cfg, PhysProcs: *procs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Run(*steps)
+		book := s.Machine().Cost()
+		n := float64(s.NFlow())
+		modelUs := cm.ModelSeconds(book.TotalCycles()) * 1e6 / n / float64(*steps)
+		wallUs := book.TotalWall().Seconds() * 1e6 / n / float64(*steps)
+		var router int64
+		for _, ph := range book.Phases() {
+			router += book.Phase(ph).RouterMsgs
+		}
+		table.AddRow(s.Machine().VPs(), s.Machine().VPR(), modelUs, wallUs,
+			float64(router)/n/float64(*steps))
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper's curve: 10.5 -> 7.2 us/particle/step from 32k to 512k particles;")
+	fmt.Println("largest improvement from VP ratio 1 to 2 (collision pairs become on-processor).")
+}
+
+func freeVolume(cfg sim.Config) float64 {
+	// wedge area = base*height/2 removed from NX*NY
+	total := float64(cfg.NX * cfg.NY)
+	if cfg.Wedge != nil {
+		total -= cfg.Wedge.Base * cfg.Wedge.Height() / 2
+	}
+	return total
+}

@@ -1,0 +1,331 @@
+// Package dsmc is a Go reproduction of the hypersonic rarefied-flow
+// direct particle simulation (DSMC) that Leonardo Dagum implemented on
+// the Thinking Machines CM-2 (RIACS TR 88.46 / Supercomputing '89),
+// using the McDonald–Baganoff particle-level selection rule and
+// 5-component permutation collision algorithm.
+//
+// Two interchangeable backends run the same physics:
+//
+//   - Reference: a sequential float64 implementation of the algorithm
+//     (the role of the paper's hand-vectorized Cray-2 comparator);
+//   - ConnectionMachine: a data-parallel fixed-point (Q9.23)
+//     implementation on a simulated CM — virtual processors, scans,
+//     sort-based pairing, router cost model — the paper's actual system.
+//
+// The quickest start:
+//
+//	cfg := dsmc.PaperConfig()
+//	cfg.ParticlesPerCell = 8 // scale down from the 512k-particle run
+//	s, err := dsmc.NewSimulation(cfg)
+//	...
+//	s.Run(600)                       // reach steady state
+//	field := s.SampleDensity(300)    // time-averaged density
+//	fmt.Println(field.ShockAngleDeg())
+package dsmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dsmc/internal/cmsim"
+	"dsmc/internal/geom"
+	"dsmc/internal/grid"
+	"dsmc/internal/molec"
+	"dsmc/internal/phys"
+	"dsmc/internal/sample"
+	"dsmc/internal/sim"
+)
+
+// Backend selects the implementation.
+type Backend int
+
+// Available backends.
+const (
+	// Reference is the sequential float64 implementation.
+	Reference Backend = iota
+	// ConnectionMachine is the data-parallel fixed-point implementation
+	// with the CM-2 cost model.
+	ConnectionMachine
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == ConnectionMachine {
+		return "connection-machine"
+	}
+	return "reference"
+}
+
+// WedgeSpec describes the test body.
+type WedgeSpec struct {
+	LeadX    float64 // distance of the leading edge from the upstream boundary, cells
+	Base     float64 // base length, cells
+	AngleDeg float64 // ramp angle, degrees
+}
+
+// MolecularModel selects the interaction law for the selection rule.
+type MolecularModel string
+
+// Supported molecular models.
+const (
+	// Maxwell molecules (α = 4): the paper's model; the selection rule
+	// depends only on density.
+	Maxwell MolecularModel = "maxwell"
+	// HardSphere molecules: the selection rule scales with relative speed.
+	HardSphere MolecularModel = "hard-sphere"
+)
+
+// Config specifies a wind-tunnel simulation through the public API.
+type Config struct {
+	// GridNX, GridNY are the cell-grid dimensions (unit square cells).
+	GridNX, GridNY int
+	// Wedge is the body; nil runs an empty tunnel.
+	Wedge *WedgeSpec
+	// Mach is the freestream Mach number (> 1).
+	Mach float64
+	// ThermalSpeed is the freestream most-probable molecular speed in
+	// cells per time step (sets the time-step size relative to the flow).
+	ThermalSpeed float64
+	// MeanFreePath is the freestream mean free path in cells; 0 selects
+	// the near-continuum mode in which every candidate pair collides.
+	MeanFreePath float64
+	// ParticlesPerCell is the freestream simulator-particle density.
+	ParticlesPerCell float64
+	// Model is the molecular model (default Maxwell).
+	Model MolecularModel
+	// Backend selects the implementation (default Reference).
+	Backend Backend
+	// PhysProcs is the physical processor count of the ConnectionMachine
+	// backend (default 1024; the paper's machine had 32k).
+	PhysProcs int
+	// Seed seeds all randomness; runs with equal seeds are reproducible.
+	Seed uint64
+}
+
+// PaperConfig returns the configuration of the paper's simulations:
+// a 98×64 grid, the 30° wedge placed 20 cells from the upstream boundary
+// with a 25-cell base, Mach 4, and a mean free path of 0.5 cells
+// (the rarefied case of figures 4–6; set MeanFreePath = 0 for the
+// near-continuum case of figures 1–3). ParticlesPerCell = 75 corresponds
+// to the full 512k-particle run; scale it down for laptop-scale runs.
+func PaperConfig() Config {
+	return Config{
+		GridNX: 98, GridNY: 64,
+		Wedge:            &WedgeSpec{LeadX: 20, Base: 25, AngleDeg: 30},
+		Mach:             4,
+		ThermalSpeed:     0.125,
+		MeanFreePath:     0.5,
+		ParticlesPerCell: 75,
+		Model:            Maxwell,
+		Backend:          Reference,
+		Seed:             1988,
+	}
+}
+
+// internalConfig lowers the public configuration.
+func (c Config) internalConfig() (sim.Config, error) {
+	if c.GridNX <= 0 || c.GridNY <= 0 {
+		return sim.Config{}, errors.New("dsmc: grid dimensions must be positive")
+	}
+	model := molec.Maxwell()
+	switch c.Model {
+	case "", Maxwell:
+	case HardSphere:
+		model = molec.HardSphere()
+	default:
+		return sim.Config{}, fmt.Errorf("dsmc: unknown molecular model %q", c.Model)
+	}
+	var wedge *geom.Wedge
+	if c.Wedge != nil {
+		wedge = &geom.Wedge{
+			LeadX: c.Wedge.LeadX,
+			Base:  c.Wedge.Base,
+			Angle: c.Wedge.AngleDeg * math.Pi / 180,
+		}
+	}
+	ic := sim.Config{
+		NX: c.GridNX, NY: c.GridNY,
+		Wedge: wedge,
+		Free: phys.Freestream{
+			Mach:   c.Mach,
+			Cm:     c.ThermalSpeed,
+			Lambda: c.MeanFreePath,
+			Gamma:  model.Gamma(),
+		},
+		Model:          model,
+		NPerCell:       c.ParticlesPerCell,
+		PlungerTrigger: 4,
+		Seed:           c.Seed,
+	}
+	return ic, ic.Validate()
+}
+
+// backend abstracts the two implementations.
+type backend interface {
+	Step()
+	Run(n int)
+	NFlow() int
+	NReservoir() int
+	StepCount() int
+	Collisions() int64
+	Grid() grid.Grid
+	Volumes() []float64
+}
+
+// Simulation is a running wind-tunnel simulation.
+type Simulation struct {
+	cfg Config
+	ref *sim.Sim
+	cm  *cmsim.Sim
+	b   backend
+}
+
+// NewSimulation builds and initialises a simulation.
+func NewSimulation(c Config) (*Simulation, error) {
+	ic, err := c.internalConfig()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{cfg: c}
+	switch c.Backend {
+	case ConnectionMachine:
+		cs, err := cmsim.New(cmsim.Config{Sim: ic, PhysProcs: c.PhysProcs})
+		if err != nil {
+			return nil, err
+		}
+		s.cm = cs
+		s.b = cs
+	default:
+		rs, err := sim.New(ic)
+		if err != nil {
+			return nil, err
+		}
+		s.ref = rs
+		s.b = rs
+	}
+	return s, nil
+}
+
+// Step advances one time step.
+func (s *Simulation) Step() { s.b.Step() }
+
+// Run advances n time steps.
+func (s *Simulation) Run(n int) { s.b.Run(n) }
+
+// NFlow returns the number of particles in the flow.
+func (s *Simulation) NFlow() int { return s.b.NFlow() }
+
+// NReservoir returns the number of particles banked in the reservoir.
+func (s *Simulation) NReservoir() int { return s.b.NReservoir() }
+
+// StepCount returns completed time steps.
+func (s *Simulation) StepCount() int { return s.b.StepCount() }
+
+// Collisions returns the cumulative collision count.
+func (s *Simulation) Collisions() int64 { return s.b.Collisions() }
+
+// Backend reports which implementation is running.
+func (s *Simulation) Backend() Backend { return s.cfg.Backend }
+
+// SampleDensity advances the simulation `steps` further steps while
+// accumulating the time-averaged density field normalised by the
+// freestream density (the quantity plotted in the paper's figures).
+func (s *Simulation) SampleDensity(steps int) *Field {
+	acc := sample.NewAccumulator(s.b.Grid(), s.b.Volumes(), s.cfg.ParticlesPerCell)
+	for k := 0; k < steps; k++ {
+		s.Step()
+		if s.ref != nil {
+			acc.AddFlow(s.ref.Store())
+		} else {
+			acc.AddCounts(s.cm.CellCounts())
+		}
+	}
+	return &Field{
+		NX: s.cfg.GridNX, NY: s.cfg.GridNY,
+		Data: acc.Density(),
+		grid: s.b.Grid(), vols: s.b.Volumes(),
+		wedge: s.cfg.Wedge, mach: s.cfg.Mach,
+	}
+}
+
+// PhaseSeconds returns the cumulative wall-clock seconds per algorithm
+// phase (move+boundary, sort, select, collide).
+func (s *Simulation) PhaseSeconds() map[string]float64 {
+	out := map[string]float64{}
+	if s.ref != nil {
+		for k, v := range s.ref.PhaseTimes() {
+			out[k] = v.Seconds()
+		}
+		return out
+	}
+	book := s.cm.Machine().Cost()
+	for _, name := range book.Phases() {
+		out[name] = book.Phase(name).Wall.Seconds()
+	}
+	return out
+}
+
+// ModelPhaseCycles returns the Connection Machine cost model's cycle
+// counts per phase; nil for the Reference backend.
+func (s *Simulation) ModelPhaseCycles() map[string]int64 {
+	if s.cm == nil {
+		return nil
+	}
+	book := s.cm.Machine().Cost()
+	out := map[string]int64{}
+	for _, name := range book.Phases() {
+		out[name] = book.Phase(name).Cycles
+	}
+	return out
+}
+
+// MicrosecondsPerParticleStep reports the average wall-clock cost per
+// particle per time step so far — the paper's headline metric
+// (7.2 µs on the 32k-processor CM-2, 0.5 µs on the Cray-2).
+func (s *Simulation) MicrosecondsPerParticleStep() float64 {
+	if s.StepCount() == 0 || s.NFlow() == 0 {
+		return 0
+	}
+	var total time.Duration
+	if s.ref != nil {
+		for _, v := range s.ref.PhaseTimes() {
+			total += v
+		}
+	} else {
+		total = s.cm.Machine().Cost().TotalWall()
+	}
+	return total.Seconds() * 1e6 / float64(s.StepCount()) / float64(s.NFlow())
+}
+
+// Theory returns the inviscid-theory references for this configuration —
+// the numbers the paper validates against.
+type Theory struct {
+	ShockAngleDeg float64 // oblique shock angle (45° for the paper's case)
+	DensityRatio  float64 // Rankine–Hugoniot rise (3.7 for the paper's case)
+	Knudsen       float64 // λ∞ / wedge base
+	SpeedRatio    float64 // u∞/cm∞
+	FreestreamU   float64 // cells per step
+	Detached      bool    // no attached-shock solution exists
+}
+
+// Theory computes the validation references from the configuration.
+func (s *Simulation) Theory() Theory {
+	t := Theory{
+		SpeedRatio:  s.cfg.Mach * math.Sqrt(phys.GammaDiatomic/2),
+		FreestreamU: s.cfg.Mach * s.cfg.ThermalSpeed * math.Sqrt(phys.GammaDiatomic/2),
+	}
+	if s.cfg.Wedge == nil {
+		return t
+	}
+	t.Knudsen = s.cfg.MeanFreePath / s.cfg.Wedge.Base
+	beta, err := phys.ObliqueShockBeta(s.cfg.Mach, s.cfg.Wedge.AngleDeg*math.Pi/180, phys.GammaDiatomic)
+	if err != nil {
+		t.Detached = true
+		return t
+	}
+	t.ShockAngleDeg = beta * 180 / math.Pi
+	t.DensityRatio = phys.RHDensityRatio(phys.NormalMach(s.cfg.Mach, beta), phys.GammaDiatomic)
+	return t
+}

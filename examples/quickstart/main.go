@@ -1,0 +1,39 @@
+// Quickstart: run the paper's Mach 4 / 30° wedge experiment at laptop
+// scale and check the two validation numbers the paper quotes — a 45°
+// shock and a 3.7 Rankine–Hugoniot density rise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmc"
+)
+
+func main() {
+	cfg := dsmc.PaperConfig()
+	cfg.ParticlesPerCell = 8 // the paper's 512k-particle run uses 75
+	cfg.Seed = 2024
+
+	s, err := dsmc.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulating %d particles in the flow (+%d in the reservoir)\n",
+		s.NFlow(), s.NReservoir())
+
+	s.Run(600) // reach steady state (the paper runs 1200)
+	field := s.SampleDensity(300)
+
+	th := s.Theory()
+	fmt.Printf("shock angle:   %5.1f° measured, %5.1f° theory\n",
+		field.ShockAngleDeg(), th.ShockAngleDeg)
+	fmt.Printf("density rise:  %5.2f  measured, %5.2f  theory\n",
+		field.PostShockMean(), th.DensityRatio)
+	fmt.Printf("freestream:    %5.3f measured, 1.000 expected\n",
+		field.FreestreamMean())
+	fmt.Printf("collisions:    %d over %d steps\n", s.Collisions(), s.StepCount())
+	fmt.Println()
+	fmt.Println("density field (flow left to right, wedge at the bottom):")
+	fmt.Print(field.ASCII())
+}

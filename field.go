@@ -1,0 +1,238 @@
+package dsmc
+
+import (
+	"io"
+	"math"
+
+	"dsmc/internal/grid"
+	"dsmc/internal/phys"
+	"dsmc/internal/sample"
+)
+
+// Field is a time-averaged macroscopic field over the cell grid,
+// normalised by its freestream value (density fields read 1.0 in
+// undisturbed flow).
+type Field struct {
+	NX, NY int
+	// Data holds NY rows of NX values, row-major from the lower wall.
+	Data []float64
+
+	grid  grid.Grid
+	vols  []float64
+	wedge *WedgeSpec
+	mach  float64
+}
+
+// At reads the field at cell (ix, iy).
+func (f *Field) At(ix, iy int) float64 { return f.Data[f.grid.Index(ix, iy)] }
+
+// Max returns the largest field value.
+func (f *Field) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range f.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ASCII renders the field as a text map scaled to [0, max], flow moving
+// left to right, the lower wall at the bottom.
+func (f *Field) ASCII() string {
+	return sample.ASCIIMap(f.Data, f.grid, 0, f.Max())
+}
+
+// Surface renders the field as banded "density surface" text, the
+// figure-2/5 view of the paper.
+func (f *Field) Surface(bands int) string {
+	return sample.SurfaceASCII(f.Data, f.grid, f.Max(), bands)
+}
+
+// WriteCSV writes the field as an NY×NX grid of comma-separated values.
+func (f *Field) WriteCSV(w io.Writer) error {
+	return sample.WriteCSV(w, f.Data, f.grid)
+}
+
+// WritePGM writes the field as an 8-bit grayscale PGM image.
+func (f *Field) WritePGM(w io.Writer) error {
+	return sample.WritePGM(w, f.Data, f.grid, 0, f.Max())
+}
+
+// Contours extracts the level-set segments at the given level.
+func (f *Field) Contours(level float64) []sample.Segment {
+	return sample.Contour(f.Data, f.grid, level)
+}
+
+// Window extracts a sub-field — e.g. the stagnation-region zoom of the
+// paper's figures 3 and 6.
+func (f *Field) Window(x0, y0, x1, y1 int) *Field {
+	data, w, h := sample.Window(f.Data, f.grid, x0, y0, x1, y1)
+	sub := grid.New(w, h)
+	vols := make([]float64, w*h)
+	for iy := y0; iy < y1; iy++ {
+		for ix := x0; ix < x1; ix++ {
+			vols[sub.Index(ix-x0, iy-y0)] = f.vols[f.grid.Index(ix, iy)]
+		}
+	}
+	return &Field{NX: w, NY: h, Data: data, grid: sub, vols: vols, mach: f.mach}
+}
+
+// RegionMean averages over [x0,x1)×[y0,y1), skipping solid cells.
+func (f *Field) RegionMean(x0, y0, x1, y1 int) float64 {
+	return sample.RegionMean(f.Data, f.grid, f.vols, x0, y0, x1, y1)
+}
+
+// ShockAngleDeg locates the oblique shock above the wedge ramp and
+// returns its angle in degrees (NaN if no wedge or no front found).
+func (f *Field) ShockAngleDeg() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	x0 := int(f.wedge.LeadX) + 6
+	x1 := int(f.wedge.LeadX + f.wedge.Base - 2)
+	post := f.theoreticalRatio()
+	return sample.ShockAngle(f.Data, f.grid, x0, x1, post) * 180 / math.Pi
+}
+
+// ShockThickness measures the 10–90% density-rise distance normal to the
+// shock at mid-ramp (the paper reads 3 cells near-continuum, 5 rarefied).
+func (f *Field) ShockThickness() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	post := f.theoreticalRatio()
+	beta, err := phys.ObliqueShockBeta(f.mach, f.wedge.AngleDeg*math.Pi/180, phys.GammaDiatomic)
+	if err != nil {
+		return math.NaN()
+	}
+	mid := int(f.wedge.LeadX + 0.65*f.wedge.Base)
+	return sample.ShockThickness(f.Data, f.grid, mid, post, beta)
+}
+
+// PostShockMean averages the density in the stagnation region between the
+// ramp surface and the shock near the wedge's downstream half.
+func (f *Field) PostShockMean() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	x0 := int(f.wedge.LeadX + 0.6*f.wedge.Base)
+	x1 := int(f.wedge.LeadX + f.wedge.Base - 1)
+	y0 := int(0.65 * f.wedge.Base * math.Tan(f.wedge.AngleDeg*math.Pi/180))
+	y1 := y0 + 6
+	return f.RegionMean(x0, y0, x1, y1)
+}
+
+// wallProfile returns the mean density of the lowest four cell rows for
+// each column downstream of the wedge's back face.
+func (f *Field) wallProfile() (x0 int, prof []float64) {
+	x0 = int(f.wedge.LeadX+f.wedge.Base) + 1
+	for ix := x0; ix < f.NX-1; ix++ {
+		v := sample.RegionMean(f.Data, f.grid, f.vols, ix, 0, ix+1, 4)
+		if math.IsNaN(v) {
+			v = 0
+		}
+		prof = append(prof, v)
+	}
+	return x0, prof
+}
+
+// WakeContrast quantifies the wake recompression: the density contrast
+// (max-min difference) along the lower wall downstream of the wedge. The
+// paper's near-continuum solution shows a fully developed wake shock; in
+// the rarefied solution it is washed out.
+func (f *Field) WakeContrast() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	_, prof := f.wallProfile()
+	if len(prof) == 0 {
+		return math.NaN()
+	}
+	lo, hi := prof[0], prof[0]
+	for _, v := range prof {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// WakeRecoveryX locates the wake recompression front: the x position
+// where the wall density first recovers to half its value at the domain
+// exit. In the rarefied flow the wake is more evacuated and recompresses
+// farther downstream and more gradually — the paper's "wake shock
+// completely washed out".
+func (f *Field) WakeRecoveryX() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	x0, prof := f.wallProfile()
+	if len(prof) < 4 {
+		return math.NaN()
+	}
+	exit := (prof[len(prof)-1] + prof[len(prof)-2]) / 2
+	level := exit / 2
+	for i := 1; i < len(prof); i++ {
+		if prof[i-1] < level && prof[i] >= level {
+			t := (level - prof[i-1]) / (prof[i] - prof[i-1])
+			return float64(x0) + float64(i-1) + t + 0.5
+		}
+	}
+	return math.NaN()
+}
+
+// WakeSteepness returns the maximum density slope (per cell, over a
+// 3-cell window) of the wall recompression — higher when a wake shock is
+// present, lower when rarefaction washes it out.
+func (f *Field) WakeSteepness() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	_, prof := f.wallProfile()
+	best := math.NaN()
+	for i := 0; i+3 < len(prof); i++ {
+		s := (prof[i+3] - prof[i]) / 3
+		if math.IsNaN(best) || s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// WakeBaseDensity averages the density in the first six cells behind the
+// wedge's back face at the wall — the "highly rarefied" wake region of
+// the paper: it drops sharply when the mean free path grows.
+func (f *Field) WakeBaseDensity() float64 {
+	if f.wedge == nil {
+		return math.NaN()
+	}
+	x0 := int(f.wedge.LeadX+f.wedge.Base) + 1
+	return sample.RegionMean(f.Data, f.grid, f.vols, x0, 0, x0+6, 4)
+}
+
+// theoreticalRatio returns the RH post-shock density ratio for the wedge,
+// used as the reference level for front detection.
+func (f *Field) theoreticalRatio() float64 {
+	beta, err := phys.ObliqueShockBeta(f.mach, f.wedge.AngleDeg*math.Pi/180, phys.GammaDiatomic)
+	if err != nil {
+		return 3
+	}
+	return phys.RHDensityRatio(phys.NormalMach(f.mach, beta), phys.GammaDiatomic)
+}
+
+// FreestreamMean averages the density upstream of the wedge (or the whole
+// tunnel when no wedge), which must read 1.0 in a healthy simulation.
+func (f *Field) FreestreamMean() float64 {
+	x1 := f.NX - 2
+	if f.wedge != nil {
+		x1 = int(f.wedge.LeadX) - 4
+	}
+	if x1 < 3 {
+		x1 = 3
+	}
+	return f.RegionMean(2, 2, x1, f.NY-2)
+}

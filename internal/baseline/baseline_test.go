@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"dsmc/internal/collide"
+	"dsmc/internal/molec"
+	"dsmc/internal/rng"
+)
+
+func maxwellRule(pInf, nInf float64) collide.Rule {
+	return collide.Rule{Model: molec.Maxwell(), PInf: pInf, NInf: nInf, GInf: 1}
+}
+
+func TestBMExpectedCollisionCount(t *testing.T) {
+	// At freestream density, a cell of N particles performs on average
+	// (N/2)·P∞ collisions per step.
+	r := rng.NewStream(1)
+	scheme := NewBM()
+	rule := maxwellRule(0.3, 100)
+	const n = 100
+	const steps = 3000
+	total := 0
+	for s := 0; s < steps; s++ {
+		parts := EquilibriumEnsemble(n, 0.2, &r)
+		total += scheme.CollideCell(parts, 1, rule, &r)
+	}
+	got := float64(total) / steps
+	want := float64(n) / 2 * 0.3
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean collisions per step = %v, want %v", got, want)
+	}
+}
+
+func TestBMNearContinuumCollidesHalf(t *testing.T) {
+	// Paper: with zero mean free path all candidates collide and the number
+	// of collisions in a cell equals half the number of particles.
+	r := rng.NewStream(2)
+	scheme := NewBM()
+	rule := collide.Rule{Model: molec.Maxwell(), CollideAll: true}
+	parts := EquilibriumEnsemble(64, 0.2, &r)
+	if got := scheme.CollideCell(parts, 1, rule, &r); got != 32 {
+		t.Errorf("near-continuum collisions = %d, want 32", got)
+	}
+	// Odd population: the unpaired particle sits out.
+	parts = EquilibriumEnsemble(7, 0.2, &r)
+	if got := scheme.CollideCell(parts, 1, rule, &r); got != 3 {
+		t.Errorf("odd-cell collisions = %d, want 3", got)
+	}
+}
+
+func TestBMConservesCellExactly(t *testing.T) {
+	r := rng.NewStream(3)
+	scheme := NewBM()
+	rule := maxwellRule(0.5, 10)
+	parts := EquilibriumEnsemble(50, 0.3, &r)
+	before := MeasureMoments(parts)
+	scheme.CollideCell(parts, 1, rule, &r)
+	after := MeasureMoments(parts)
+	for k := 0; k < 3; k++ {
+		if math.Abs(after.Momentum[k]-before.Momentum[k]) > 1e-10 {
+			t.Errorf("momentum[%d] drift", k)
+		}
+	}
+	if math.Abs(after.Energy-before.Energy) > 1e-9*before.Energy {
+		t.Errorf("energy drift: %v -> %v", before.Energy, after.Energy)
+	}
+}
+
+func TestBirdTCExpectedCollisionCount(t *testing.T) {
+	r := rng.NewStream(4)
+	scheme := NewBirdTC()
+	rule := maxwellRule(0.3, 100)
+	const n = 100
+	const steps = 3000
+	total := 0
+	for s := 0; s < steps; s++ {
+		parts := EquilibriumEnsemble(n, 0.2, &r)
+		total += scheme.CollideCell(parts, 1, rule, &r)
+	}
+	got := float64(total) / steps
+	want := float64(n) / 2 * 0.3
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("Bird TC mean collisions per step = %v, want %v", got, want)
+	}
+}
+
+func TestBirdTCConserves(t *testing.T) {
+	r := rng.NewStream(5)
+	scheme := NewBirdTC()
+	rule := maxwellRule(0.4, 50)
+	parts := EquilibriumEnsemble(50, 0.3, &r)
+	before := MeasureMoments(parts)
+	scheme.CollideCell(parts, 1, rule, &r)
+	after := MeasureMoments(parts)
+	if math.Abs(after.Energy-before.Energy) > 1e-9*before.Energy {
+		t.Errorf("Bird TC must conserve energy exactly per collision")
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(after.Momentum[k]-before.Momentum[k]) > 1e-10 {
+			t.Errorf("momentum[%d] drift", k)
+		}
+	}
+}
+
+func TestBirdTCDegenerateCells(t *testing.T) {
+	r := rng.NewStream(6)
+	scheme := NewBirdTC()
+	rule := maxwellRule(0.3, 100)
+	if scheme.CollideCell(nil, 1, rule, &r) != 0 {
+		t.Errorf("empty cell")
+	}
+	one := EquilibriumEnsemble(1, 0.2, &r)
+	if scheme.CollideCell(one, 1, rule, &r) != 0 {
+		t.Errorf("single-particle cell")
+	}
+	two := EquilibriumEnsemble(2, 0.2, &r)
+	if scheme.CollideCell(two, 0, rule, &r) != 0 {
+		t.Errorf("zero-volume cell")
+	}
+}
+
+// TestNanbuConservesInMean: the paper's criticism — Nanbu's scheme (and
+// Ploss's) conserve only the mean energy and momentum of a cell. Check
+// that single-step energy is NOT exactly conserved but the ensemble mean
+// drift is small.
+func TestNanbuConservesInMean(t *testing.T) {
+	r := rng.NewStream(7)
+	scheme := Nanbu{}
+	rule := maxwellRule(0.3, 50)
+	var drift, absDrift float64
+	const trials = 400
+	exact := 0
+	for trial := 0; trial < trials; trial++ {
+		parts := EquilibriumEnsemble(50, 0.3, &r)
+		before := MeasureMoments(parts)
+		scheme.CollideCell(parts, 1, rule, &r)
+		after := MeasureMoments(parts)
+		d := after.Energy - before.Energy
+		drift += d
+		absDrift += math.Abs(d)
+		if math.Abs(d) < 1e-12 {
+			exact++
+		}
+	}
+	if exact == trials {
+		t.Fatalf("Nanbu conserved energy exactly in every trial; scheme not updating")
+	}
+	meanDrift := drift / trials
+	meanAbs := absDrift / trials
+	if meanAbs == 0 {
+		t.Fatalf("no energy exchange at all")
+	}
+	if math.Abs(meanDrift) > 0.2*meanAbs {
+		t.Errorf("mean drift %v should be small relative to per-step fluctuation %v", meanDrift, meanAbs)
+	}
+}
+
+func TestPlossMatchesBMCollisionRate(t *testing.T) {
+	r := rng.NewStream(8)
+	rule := maxwellRule(0.3, 100)
+	const n = 100
+	const steps = 2000
+	total := 0
+	for s := 0; s < steps; s++ {
+		parts := EquilibriumEnsemble(n, 0.2, &r)
+		total += Ploss{}.CollideCell(parts, 1, rule, &r)
+	}
+	got := float64(total) / steps
+	// Ploss updates single particles; its event count corresponds to
+	// updated particles, comparable to 2× the pair count: N·P.
+	want := float64(n) * 0.3
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("Ploss updates per step = %v, want %v", got, want)
+	}
+}
+
+// TestAllSchemesRelaxToIsotropy: every scheme must drive an anisotropic
+// ensemble toward equipartition of the three translational components.
+func TestAllSchemesRelaxToIsotropy(t *testing.T) {
+	schemes := []Scheme{NewBM(), NewBirdTC(), Nanbu{}, Ploss{}}
+	for _, scheme := range schemes {
+		r := rng.NewStream(9)
+		rule := maxwellRule(0.3, 400)
+		parts := AnisotropicEnsemble(400, 0.3, &r)
+		Relax(scheme, parts, 1, rule, 120, &r)
+		m := MeasureMoments(parts)
+		trans := (m.CompEnergy[0] + m.CompEnergy[1] + m.CompEnergy[2]) / 3
+		if trans <= 0 {
+			t.Fatalf("%s: degenerate relaxation", scheme.Name())
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(m.CompEnergy[k]-trans)/trans > 0.25 {
+				t.Errorf("%s: component %d energy %v vs mean %v — not isotropised",
+					scheme.Name(), k, m.CompEnergy[k], trans)
+			}
+		}
+	}
+}
+
+// TestBMRelaxesKurtosis: rectangular → Gaussian under the paper's scheme.
+func TestBMRelaxesKurtosis(t *testing.T) {
+	r := rng.NewStream(10)
+	rule := collide.Rule{Model: molec.Maxwell(), CollideAll: true}
+	parts := RectangularEnsemble(20000, 0.25, &r)
+	if k := MeasureMoments(parts).Kurtosis; math.Abs(k-1.8) > 0.05 {
+		t.Fatalf("rectangular kurtosis = %v", k)
+	}
+	Relax(NewBM(), parts, 1, rule, 10, &r)
+	if k := MeasureMoments(parts).Kurtosis; math.Abs(k-3.0) > 0.1 {
+		t.Errorf("relaxed kurtosis = %v, want 3", k)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if NewBM().Name() == "" || NewBirdTC().Name() == "" ||
+		(Nanbu{}).Name() == "" || (Ploss{}).Name() == "" {
+		t.Errorf("schemes must be named")
+	}
+}
+
+func TestEnsembleBuilders(t *testing.T) {
+	r := rng.NewStream(11)
+	eq := EquilibriumEnsemble(1000, 0.5, &r)
+	m := MeasureMoments(eq)
+	perComp := m.Energy / 5000
+	if math.Abs(perComp-0.25) > 0.02 {
+		t.Errorf("equilibrium component energy %v, want 0.25", perComp)
+	}
+	an := AnisotropicEnsemble(1000, 0.5, &r)
+	ma := MeasureMoments(an)
+	if ma.CompEnergy[1] != 0 || ma.CompEnergy[4] != 0 {
+		t.Errorf("anisotropic ensemble must be cold off-axis")
+	}
+}

@@ -1,0 +1,172 @@
+package cm
+
+// The richer scan set of the paper's future-work section ("a richer set
+// of scan functions in the Version 5.0 software which may be used to
+// decrease the time spent in identifying collision candidates"):
+// max/min scans and their segmented forms, which allow e.g. per-cell
+// extrema (largest relative speed, majorant frequencies) to be computed
+// directly.
+
+// MaxScan computes the running maximum: dst[i] = max(src[0..i]).
+func (m *Machine) MaxScan(dst, src Field) {
+	m.checkLen(dst, src)
+	n := m.vps
+	w := m.workers
+	blockMax := make([]int32, w)
+	m.parForIdx(n, func(b, lo, hi int) {
+		best := src[0]
+		for i := lo; i < hi; i++ {
+			if src[i] > best {
+				best = src[i]
+			}
+		}
+		blockMax[b] = best
+	})
+	carryIn := make([]int32, w)
+	cur := src[0]
+	for b := 0; b < w; b++ {
+		carryIn[b] = cur
+		if blockMax[b] > cur {
+			cur = blockMax[b]
+		}
+	}
+	m.parForIdx(n, func(b, lo, hi int) {
+		best := carryIn[b]
+		for i := lo; i < hi; i++ {
+			if src[i] > best {
+				best = src[i]
+			}
+			dst[i] = best
+		}
+	})
+	m.chargeScan()
+}
+
+// MinScan computes the running minimum: dst[i] = min(src[0..i]).
+func (m *Machine) MinScan(dst, src Field) {
+	neg := m.NewField()
+	m.Map(OpALU, neg, src, func(x int32) int32 { return -x })
+	m.MaxScan(neg, neg)
+	m.Map(OpALU, dst, neg, func(x int32) int32 { return -x })
+}
+
+// SegMaxScan computes the segmented running maximum, restarting at every
+// segment start.
+func (m *Machine) SegMaxScan(dst, src Field, segStart []bool) {
+	m.checkLen(dst, src)
+	n := m.vps
+	w := m.workers
+	tailMax := make([]int32, w)
+	hasStart := make([]bool, w)
+	m.parForIdx(n, func(b, lo, hi int) {
+		best := int32(0)
+		started := false
+		haveAny := false
+		for i := lo; i < hi; i++ {
+			if segStart[i] {
+				best = src[i]
+				started = true
+				haveAny = true
+				continue
+			}
+			if !haveAny {
+				best = src[i]
+				haveAny = true
+			} else if src[i] > best {
+				best = src[i]
+			}
+		}
+		tailMax[b] = best
+		hasStart[b] = started
+	})
+	carryIn := make([]int32, w)
+	cur := src[0]
+	for b := 0; b < w; b++ {
+		carryIn[b] = cur
+		if hasStart[b] {
+			cur = tailMax[b]
+		} else if tailMax[b] > cur {
+			cur = tailMax[b]
+		}
+	}
+	m.parForIdx(n, func(b, lo, hi int) {
+		best := carryIn[b]
+		for i := lo; i < hi; i++ {
+			if segStart[i] {
+				best = src[i]
+			} else if src[i] > best {
+				best = src[i]
+			}
+			dst[i] = best
+		}
+	})
+	m.chargeScan()
+}
+
+// SegBroadcastMax gives every element the maximum of its segment
+// (a segmented max-scan followed by a backward copy), e.g. the largest
+// relative speed in a cell for majorant-rate selection schemes.
+func (m *Machine) SegBroadcastMax(dst, src Field, segStart []bool) {
+	m.checkLen(dst, src)
+	tmp := m.NewField()
+	m.SegMaxScan(tmp, src, segStart)
+	// The segment-final value of tmp is the segment max; propagate it
+	// backward exactly as SegBroadcastSum does.
+	n := m.vps
+	w := m.workers
+	step := m.blockStep(n)
+	carryFromRight := make([]int32, w)
+	cur := tmp[n-1]
+	for b := w - 1; b >= 0; b-- {
+		carryFromRight[b] = cur
+		lo := b * step
+		hi := lo + step
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if segStart[i] {
+				if i > 0 {
+					cur = tmp[i-1]
+				}
+				break
+			}
+		}
+	}
+	m.parForIdx(n, func(b, lo, hi int) {
+		fill := carryFromRight[b]
+		for i := hi - 1; i >= lo; i-- {
+			dst[i] = fill
+			if segStart[i] && i > 0 {
+				fill = tmp[i-1]
+			}
+		}
+	})
+	m.chargeScan()
+}
+
+// ReduceMin returns the global minimum of src.
+func (m *Machine) ReduceMin(src Field) int32 {
+	m.checkLen(src)
+	partial := make([]int32, m.workers)
+	m.parForIdx(m.vps, func(w, lo, hi int) {
+		best := src[0]
+		for i := lo; i < hi; i++ {
+			if src[i] < best {
+				best = src[i]
+			}
+		}
+		partial[w] = best
+	})
+	best := partial[0]
+	for _, v := range partial[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	m.chargeScan()
+	return best
+}

@@ -1,0 +1,121 @@
+package cm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxScanMatchesReference(t *testing.T) {
+	for _, n := range []int{16, 1000, 20000} {
+		m := New(16, n)
+		src := m.NewField()
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range src {
+			src[i] = int32(rng.Intn(2000) - 1000)
+		}
+		dst := m.NewField()
+		m.MaxScan(dst, src)
+		best := src[0]
+		for i := range src {
+			if src[i] > best {
+				best = src[i]
+			}
+			if dst[i] != best {
+				t.Fatalf("n=%d: MaxScan[%d] = %d, want %d", n, i, dst[i], best)
+			}
+		}
+	}
+}
+
+func TestMinScanMatchesReference(t *testing.T) {
+	m := New(8, 5000)
+	src := m.NewField()
+	rng := rand.New(rand.NewSource(7))
+	for i := range src {
+		src[i] = int32(rng.Intn(2000) - 1000)
+	}
+	dst := m.NewField()
+	m.MinScan(dst, src)
+	best := src[0]
+	for i := range src {
+		if src[i] < best {
+			best = src[i]
+		}
+		if dst[i] != best {
+			t.Fatalf("MinScan[%d] = %d, want %d", i, dst[i], best)
+		}
+	}
+}
+
+func TestSegMaxScanMatchesReference(t *testing.T) {
+	for _, n := range []int{64, 20000} {
+		m := New(16, n)
+		src := m.NewField()
+		seg := make([]bool, m.VPs())
+		rng := rand.New(rand.NewSource(int64(n) + 3))
+		for i := range src {
+			src[i] = int32(rng.Intn(1000) - 500)
+			seg[i] = rng.Intn(9) == 0
+		}
+		dst := m.NewField()
+		m.SegMaxScan(dst, src, seg)
+		best := src[0]
+		for i := range src {
+			if seg[i] || i == 0 {
+				best = src[i]
+			} else if src[i] > best {
+				best = src[i]
+			}
+			if dst[i] != best {
+				t.Fatalf("n=%d: SegMaxScan[%d] = %d, want %d", n, i, dst[i], best)
+			}
+		}
+	}
+}
+
+func TestSegBroadcastMax(t *testing.T) {
+	for _, n := range []int{64, 16384} {
+		m := New(16, n)
+		src := m.NewField()
+		seg := make([]bool, m.VPs())
+		rng := rand.New(rand.NewSource(int64(n) + 5))
+		for i := range src {
+			src[i] = int32(rng.Intn(1000))
+			seg[i] = rng.Intn(7) == 0
+		}
+		seg[0] = true
+		dst := m.NewField()
+		m.SegBroadcastMax(dst, src, seg)
+		// Reference per segment.
+		i := 0
+		for i < m.VPs() {
+			j := i + 1
+			for j < m.VPs() && !seg[j] {
+				j++
+			}
+			best := src[i]
+			for k := i; k < j; k++ {
+				if src[k] > best {
+					best = src[k]
+				}
+			}
+			for k := i; k < j; k++ {
+				if dst[k] != best {
+					t.Fatalf("n=%d: segment max at %d = %d, want %d", n, k, dst[k], best)
+				}
+			}
+			i = j
+		}
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	m := New(8, 3000)
+	src := m.NewField()
+	for i := range src {
+		src[i] = int32(i%71) - 35
+	}
+	if got := m.ReduceMin(src); got != -35 {
+		t.Errorf("ReduceMin = %d", got)
+	}
+}

@@ -1,0 +1,296 @@
+package collide
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmc/internal/molec"
+	"dsmc/internal/rng"
+)
+
+func randomPair(r *rng.Stream) (State5, State5) {
+	var a, b State5
+	for i := range a {
+		a[i] = r.Gaussian(0, 1)
+		b[i] = r.Gaussian(0.5, 1)
+	}
+	return a, b
+}
+
+// TestCollideConservesInvariants is the central correctness property:
+// eq. 18 of the paper guarantees momentum and energy conservation for any
+// permutation and sign assignment, and the float64 construction is exact
+// up to rounding.
+func TestCollideConservesInvariants(t *testing.T) {
+	r := rng.NewStream(1)
+	table := rng.Perm5Table()
+	for i := 0; i < 5000; i++ {
+		a, b := randomPair(&r)
+		momBefore, eBefore := Invariants(&a, &b)
+		perm := rng.RandomPerm5(table, &r)
+		Collide(&a, &b, perm, r.Uint32())
+		momAfter, eAfter := Invariants(&a, &b)
+		for k := 0; k < 3; k++ {
+			if math.Abs(momAfter[k]-momBefore[k]) > 1e-12 {
+				t.Fatalf("momentum[%d] drift %g", k, momAfter[k]-momBefore[k])
+			}
+		}
+		if math.Abs(eAfter-eBefore) > 1e-12*math.Max(1, eBefore) {
+			t.Fatalf("energy drift %g", eAfter-eBefore)
+		}
+	}
+}
+
+func TestCollideIdentityPermNoSigns(t *testing.T) {
+	// Identity permutation with no sign flips must leave the pair unchanged.
+	r := rng.NewStream(2)
+	a, b := randomPair(&r)
+	a0, b0 := a, b
+	Collide(&a, &b, rng.IdentityPerm5, 0)
+	for i := 0; i < 5; i++ {
+		if math.Abs(a[i]-a0[i]) > 1e-15 || math.Abs(b[i]-b0[i]) > 1e-15 {
+			t.Fatalf("identity collision changed the state")
+		}
+	}
+}
+
+func TestCollideSignFlipSwapsPair(t *testing.T) {
+	// Identity permutation with all five signs flipped exchanges the two
+	// particles' states (a gains -rel/2 instead of +rel/2).
+	r := rng.NewStream(3)
+	a, b := randomPair(&r)
+	a0, b0 := a, b
+	Collide(&a, &b, rng.IdentityPerm5, 0x1f)
+	for i := 0; i < 5; i++ {
+		if math.Abs(a[i]-b0[i]) > 1e-15 || math.Abs(b[i]-a0[i]) > 1e-15 {
+			t.Fatalf("full sign flip must swap the pair")
+		}
+	}
+}
+
+func TestRelMeanReconstructRoundTrip(t *testing.T) {
+	f := func(a0, a1, a2, a3, a4, b0, b1, b2, b3, b4 float64) bool {
+		clamp := func(x float64) float64 { return math.Mod(x, 100) }
+		a := State5{clamp(a0), clamp(a1), clamp(a2), clamp(a3), clamp(a4)}
+		b := State5{clamp(b0), clamp(b1), clamp(b2), clamp(b3), clamp(b4)}
+		rel, mean := RelMean(&a, &b)
+		var a2v, b2v State5
+		Reconstruct(&a2v, &b2v, &rel, &mean)
+		for i := 0; i < 5; i++ {
+			if math.Abs(a2v[i]-a[i]) > 1e-12 || math.Abs(b2v[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransRelSpeed(t *testing.T) {
+	a := State5{3, 0, 0, 9, 9}
+	b := State5{0, 4, 0, -9, -9}
+	if got := TransRelSpeed(&a, &b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("g = %v, want 5 (rotational components must not enter)", got)
+	}
+}
+
+func TestRuleMaxwellDensityScaling(t *testing.T) {
+	rule := Rule{Model: molec.Maxwell(), PInf: 0.25, NInf: 30, GInf: 1}
+	// Freestream cell: P = PInf.
+	if got := rule.Prob(30, 1, 2.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("freestream P = %v, want 0.25", got)
+	}
+	// Double density doubles P (eq. 8).
+	if got := rule.Prob(60, 1, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("doubled density P = %v, want 0.5", got)
+	}
+	// Fractional cell volume raises the density (the paper's special
+	// allowance for wedge-cut cells).
+	if got := rule.Prob(30, 0.5, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-volume cell P = %v, want 0.5", got)
+	}
+}
+
+func TestRuleHardSphereSpeedScaling(t *testing.T) {
+	rule := Rule{Model: molec.HardSphere(), PInf: 0.1, NInf: 10, GInf: 2}
+	if got := rule.Prob(10, 1, 4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("hard-sphere P = %v, want 0.2 (g/g∞ = 2)", got)
+	}
+}
+
+func TestRuleClampsToUnity(t *testing.T) {
+	rule := Rule{Model: molec.Maxwell(), PInf: 0.5, NInf: 10, GInf: 1}
+	if got := rule.Prob(1000, 1, 1); got != 1 {
+		t.Errorf("P must clamp to 1, got %v", got)
+	}
+}
+
+func TestRuleNearContinuumCollideAll(t *testing.T) {
+	rule := Rule{Model: molec.Maxwell(), CollideAll: true}
+	if rule.Prob(2, 1, 0.001) != 1 {
+		t.Errorf("near-continuum mode must collide every candidate")
+	}
+}
+
+func TestRuleDegenerateCells(t *testing.T) {
+	rule := Rule{Model: molec.Maxwell(), PInf: 0.25, NInf: 30, GInf: 1}
+	if rule.Prob(0, 1, 1) != 0 {
+		t.Errorf("empty cell must not collide")
+	}
+	if rule.Prob(10, 0, 1) != 0 {
+		t.Errorf("zero-volume cell must not collide")
+	}
+}
+
+func TestMeanFreePathEstimate(t *testing.T) {
+	rule := Rule{PInf: 0.25}
+	if got := rule.MeanFreePathEstimate(0.125); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("lambda = %v, want 0.5", got)
+	}
+	if !math.IsInf(Rule{}.MeanFreePathEstimate(1), 1) {
+		t.Errorf("PInf=0 implies infinite mean free path")
+	}
+}
+
+func TestVHSIsotropicConserves(t *testing.T) {
+	r := rng.NewStream(5)
+	for i := 0; i < 2000; i++ {
+		a, b := randomPair(&r)
+		momB, eB := Invariants(&a, &b)
+		rotA, rotB := [2]float64{a[3], a[4]}, [2]float64{b[3], b[4]}
+		CollideVHSIsotropic(&a, &b, &r)
+		momA, eA := Invariants(&a, &b)
+		for k := 0; k < 3; k++ {
+			if math.Abs(momA[k]-momB[k]) > 1e-12 {
+				t.Fatalf("momentum drift")
+			}
+		}
+		if math.Abs(eA-eB) > 1e-12*math.Max(1, eB) {
+			t.Fatalf("energy drift %g", eA-eB)
+		}
+		if a[3] != rotA[0] || a[4] != rotA[1] || b[3] != rotB[0] || b[4] != rotB[1] {
+			t.Fatalf("elastic scattering must not touch rotational state")
+		}
+	}
+}
+
+func TestBLConserves(t *testing.T) {
+	r := rng.NewStream(6)
+	for i := 0; i < 2000; i++ {
+		a, b := randomPair(&r)
+		momB, eB := Invariants(&a, &b)
+		CollideBL(&a, &b, 1, &r) // force exchange every collision
+		momA, eA := Invariants(&a, &b)
+		for k := 0; k < 3; k++ {
+			if math.Abs(momA[k]-momB[k]) > 1e-12 {
+				t.Fatalf("momentum drift %g", momA[k]-momB[k])
+			}
+		}
+		if math.Abs(eA-eB) > 1e-10*math.Max(1, eB) {
+			t.Fatalf("energy drift %g", eA-eB)
+		}
+	}
+}
+
+// TestBLEquipartition relaxes an ensemble with all energy initially
+// translational; Borgnakke–Larsen exchange must drive rotational and
+// translational temperatures together.
+func TestBLEquipartition(t *testing.T) {
+	r := rng.NewStream(7)
+	const n = 4000
+	parts := make([]State5, n)
+	for i := range parts {
+		parts[i][0] = r.Gaussian(0, 1)
+		parts[i][1] = r.Gaussian(0, 1)
+		parts[i][2] = r.Gaussian(0, 1)
+		// rotational components start cold
+	}
+	var accTr, accRot float64
+	for step := 0; step < 500; step++ {
+		for i := 0; i+1 < n; i += 2 {
+			j := i + 1 + r.Intn(n-i-1)
+			CollideBL(&parts[i], &parts[j], 3, &r)
+		}
+		if step >= 200 { // time-average the equilibrated tail
+			for i := range parts {
+				accTr += parts[i][0]*parts[i][0] + parts[i][1]*parts[i][1] + parts[i][2]*parts[i][2]
+				accRot += parts[i][3]*parts[i][3] + parts[i][4]*parts[i][4]
+			}
+		}
+	}
+	// Equipartition: energy per dof equal → eRot/eTr = 2/3.
+	ratio := accRot / accTr
+	if math.Abs(ratio-2.0/3) > 0.03 {
+		t.Errorf("equipartition ratio = %v, want 2/3", ratio)
+	}
+}
+
+func TestVibExchangeConserves(t *testing.T) {
+	r := rng.NewStream(8)
+	for i := 0; i < 2000; i++ {
+		eTr := r.Float64() * 3
+		eA := r.Float64()
+		eB := r.Float64()
+		nTr, nA, nB := VibExchange(eTr, eA, eB, 1, &r)
+		if math.Abs((nTr+nA+nB)-(eTr+eA+eB)) > 1e-12 {
+			t.Fatalf("vibrational exchange must conserve energy")
+		}
+		if nTr < 0 || nA < 0 || nB < 0 {
+			t.Fatalf("negative energy after exchange")
+		}
+	}
+}
+
+func TestVibExchangeRespectsZVib(t *testing.T) {
+	r := rng.NewStream(9)
+	unchanged := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		_, nA, _ := VibExchange(1, 0.3, 0.3, 5, &r)
+		if nA == 0.3 {
+			unchanged++
+		}
+	}
+	// With zVib = 5 about 80% of collisions skip the exchange.
+	if f := float64(unchanged) / n; math.Abs(f-0.8) > 0.02 {
+		t.Errorf("exchange skip fraction = %v, want 0.8", f)
+	}
+}
+
+// TestCollideRandomizesDirections: after many collisions of an initially
+// anisotropic ensemble, the translational components must share energy
+// (the permutation mixes components), demonstrating why the permutation
+// mechanism thermalises the gas.
+func TestCollideRandomizesDirections(t *testing.T) {
+	r := rng.NewStream(10)
+	table := rng.Perm5Table()
+	const n = 4000
+	parts := make([]State5, n)
+	for i := range parts {
+		parts[i][0] = r.Gaussian(0, 2) // all energy in x initially
+	}
+	var e [5]float64
+	for step := 0; step < 300; step++ {
+		for i := 0; i+1 < n; i += 2 {
+			j := i + 1 + r.Intn(n-i-1)
+			perm := rng.RandomPerm5(table, &r)
+			Collide(&parts[i], &parts[j], perm, r.Uint32())
+		}
+		if step >= 100 { // time-average the equilibrated tail
+			for i := range parts {
+				for k := 0; k < 5; k++ {
+					e[k] += parts[i][k] * parts[i][k]
+				}
+			}
+		}
+	}
+	mean := (e[0] + e[1] + e[2] + e[3] + e[4]) / 5
+	for k := 0; k < 5; k++ {
+		if math.Abs(e[k]-mean)/mean > 0.05 {
+			t.Errorf("component %d energy %v deviates from equipartition %v", k, e[k], mean)
+		}
+	}
+}

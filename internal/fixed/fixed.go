@@ -1,0 +1,224 @@
+// Package fixed implements the 32-bit fixed-point arithmetic used by the
+// Connection Machine implementation of the particle simulation.
+//
+// The paper stores the physical state of a particle in a 32-bit fixed-point
+// format with 23 bits of precision (matching the 23-bit mantissa of IEEE
+// single precision). This package provides that format — Q8.23 plus sign,
+// referred to throughout as Q9.23 — together with the stochastic-rounding
+// correction the paper applies after halving, and the "quick but dirty"
+// random numbers extracted from the low-order bits of state quantities.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in the fixed-point format.
+// The paper uses 23 bits of precision in a 32-bit word.
+const FracBits = 23
+
+// One is the fixed-point representation of 1.0.
+const One Fix = 1 << FracBits
+
+// Max and Min are the saturation limits of the format.
+const (
+	Max Fix = math.MaxInt32
+	Min Fix = math.MinInt32
+)
+
+// Eps is the smallest positive increment representable in the format.
+const Eps Fix = 1
+
+// Fix is a signed 32-bit fixed-point number with FracBits fractional bits.
+// The integer range is [-256, 256) with a resolution of 2^-23.
+type Fix int32
+
+// FromFloat converts a float64 to fixed point, rounding to nearest and
+// saturating at the format limits.
+func FromFloat(f float64) Fix {
+	v := math.RoundToEven(f * (1 << FracBits))
+	if v >= float64(math.MaxInt32) {
+		return Max
+	}
+	if v <= float64(math.MinInt32) {
+		return Min
+	}
+	return Fix(v)
+}
+
+// FromInt converts an integer to fixed point, saturating on overflow.
+func FromInt(i int) Fix {
+	if i >= 1<<(31-FracBits) {
+		return Max
+	}
+	if i < -(1 << (31 - FracBits)) {
+		return Min
+	}
+	return Fix(i << FracBits)
+}
+
+// Float converts a fixed-point value to float64 exactly.
+func (x Fix) Float() float64 { return float64(x) / (1 << FracBits) }
+
+// Int returns the integer part of x, truncating toward negative infinity.
+// This matches the bit-shift truncation of the bit-serial hardware and is
+// what the cell-index computation in the paper uses.
+func (x Fix) Int() int { return int(x >> FracBits) }
+
+// Frac returns the fractional bits of x as a non-negative value below One.
+func (x Fix) Frac() Fix { return x & (One - 1) }
+
+// Add returns x+y with saturation.
+func Add(x, y Fix) Fix {
+	s := int64(x) + int64(y)
+	return sat64(s)
+}
+
+// Sub returns x-y with saturation.
+func Sub(x, y Fix) Fix {
+	s := int64(x) - int64(y)
+	return sat64(s)
+}
+
+// Mul returns the fixed-point product x*y, truncated toward zero on the
+// low side, with saturation.
+func Mul(x, y Fix) Fix {
+	p := (int64(x) * int64(y)) >> FracBits
+	return sat64(p)
+}
+
+// MulRound returns the fixed-point product rounded to nearest.
+func MulRound(x, y Fix) Fix {
+	p := int64(x) * int64(y)
+	p += 1 << (FracBits - 1)
+	return sat64(p >> FracBits)
+}
+
+// Div returns the fixed-point quotient x/y, truncated. Division by zero
+// saturates in the direction of the sign of x (0/0 returns Max, matching
+// the saturating behaviour documented for the substrate rather than
+// trapping, since library code must not panic on simulation data).
+func Div(x, y Fix) Fix {
+	if y == 0 {
+		if x < 0 {
+			return Min
+		}
+		return Max
+	}
+	q := (int64(x) << FracBits) / int64(y)
+	return sat64(q)
+}
+
+// Half returns x/2 truncated toward negative infinity (arithmetic shift),
+// exactly as the bit-serial divide-by-two behaves. The consistent downward
+// truncation is the energy-loss mechanism the paper identifies in
+// stagnation regions.
+func Half(x Fix) Fix { return x >> 1 }
+
+// HalfStochastic returns x/2 with the paper's correction: when the shifted-
+// out bit is 1 (the result was truncated), one LSB is added with probability
+// 1/2 using the supplied random bit, so the expected value of the result is
+// exactly x/2. rbit must be 0 or 1.
+func HalfStochastic(x Fix, rbit uint32) Fix {
+	h := x >> 1
+	if x&1 != 0 {
+		h += Fix(rbit & 1)
+	}
+	return h
+}
+
+// DirtyBits extracts n low-order bits of x as the paper's "quick but dirty
+// random number of limited size and unspecified distribution". n must be in
+// [1, 23]; the lowest bit is skipped because after a halving it is the most
+// recently generated and strongly correlated with the dither.
+func DirtyBits(x Fix, n uint) uint32 {
+	return (uint32(x) >> 1) & ((1 << n) - 1)
+}
+
+// Abs returns |x| with saturation (|Min| saturates to Max).
+func Abs(x Fix) Fix {
+	if x == Min {
+		return Max
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Neg returns -x with saturation.
+func Neg(x Fix) Fix {
+	if x == Min {
+		return Max
+	}
+	return -x
+}
+
+// Sqrt returns the fixed-point square root of x using a bitwise
+// integer method (no floating point); negative input returns 0.
+func Sqrt(x Fix) Fix {
+	if x <= 0 {
+		return 0
+	}
+	// Compute isqrt(x << FracBits) so the result is in Q9.23.
+	v := uint64(x) << FracBits
+	var res uint64
+	bit := uint64(1) << 62
+	for bit > v {
+		bit >>= 2
+	}
+	for bit != 0 {
+		if v >= res+bit {
+			v -= res + bit
+			res = res>>1 + bit
+		} else {
+			res >>= 1
+		}
+		bit >>= 2
+	}
+	return sat64(int64(res))
+}
+
+// Scale multiplies x by the integer k with saturation.
+func Scale(x Fix, k int) Fix {
+	return sat64(int64(x) * int64(k))
+}
+
+// Lerp returns a + t*(b-a) for t in fixed point.
+func Lerp(a, b, t Fix) Fix {
+	return Add(a, Mul(t, Sub(b, a)))
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi Fix) Fix {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func sat64(v int64) Fix {
+	if v > int64(math.MaxInt32) {
+		return Max
+	}
+	if v < int64(math.MinInt32) {
+		return Min
+	}
+	return Fix(v)
+}
+
+// Dot5 returns the fixed-point dot product of two 5-component vectors,
+// the quantity conserved by the collision algorithm (eq. 18 of the paper).
+// The accumulation is done in 64-bit before a single saturating narrowing,
+// so intermediate overflow cannot corrupt the conservation check.
+func Dot5(a, b *[5]Fix) Fix {
+	var acc int64
+	for i := 0; i < 5; i++ {
+		acc += (int64(a[i]) * int64(b[i])) >> FracBits
+	}
+	return sat64(acc)
+}
+
+// Norm2of5 returns the squared magnitude of a 5-component vector.
+func Norm2of5(a *[5]Fix) Fix { return Dot5(a, a) }

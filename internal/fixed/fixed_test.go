@@ -1,0 +1,260 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.1415926, -127.75, 255.999, -255.999}
+	for _, f := range cases {
+		x := FromFloat(f)
+		if got := x.Float(); math.Abs(got-f) > 1.0/(1<<FracBits) {
+			t.Errorf("round trip %v -> %v, err %g", f, got, got-f)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(1e9) != Max {
+		t.Errorf("positive overflow must saturate to Max")
+	}
+	if FromFloat(-1e9) != Min {
+		t.Errorf("negative overflow must saturate to Min")
+	}
+}
+
+func TestFromInt(t *testing.T) {
+	if FromInt(3) != 3*One {
+		t.Errorf("FromInt(3) = %v", FromInt(3))
+	}
+	if FromInt(1000) != Max {
+		t.Errorf("FromInt(1000) must saturate")
+	}
+	if FromInt(-1000) != Min {
+		t.Errorf("FromInt(-1000) must saturate")
+	}
+	if FromInt(-5).Float() != -5 {
+		t.Errorf("FromInt(-5) = %v", FromInt(-5).Float())
+	}
+}
+
+func TestIntTruncatesDownward(t *testing.T) {
+	if FromFloat(3.75).Int() != 3 {
+		t.Errorf("Int(3.75) = %d", FromFloat(3.75).Int())
+	}
+	if FromFloat(-0.25).Int() != -1 {
+		t.Errorf("Int(-0.25) = %d, want -1 (floor semantics)", FromFloat(-0.25).Int())
+	}
+}
+
+func TestFrac(t *testing.T) {
+	x := FromFloat(3.25)
+	if got := x.Frac().Float(); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("Frac(3.25) = %v", got)
+	}
+}
+
+func TestAddSubProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Fix(a)/4, Fix(b)/4 // keep clear of saturation
+		return Add(x, y) == x+y && Sub(x, y) == x-y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(Max, One) != Max {
+		t.Errorf("Add overflow must saturate")
+	}
+	if Sub(Min, One) != Min {
+		t.Errorf("Sub underflow must saturate")
+	}
+}
+
+func TestMulMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := rng.Float64()*20 - 10
+		b := rng.Float64()*20 - 10
+		got := Mul(FromFloat(a), FromFloat(b)).Float()
+		if math.Abs(got-a*b) > 4.0/(1<<FracBits)*math.Max(1, math.Abs(a)+math.Abs(b)) {
+			t.Fatalf("Mul(%g,%g) = %g, want %g", a, b, got, a*b)
+		}
+	}
+}
+
+func TestDivMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := rng.Float64()*20 - 10
+		b := rng.Float64()*20 - 10
+		if math.Abs(b) < 0.1 {
+			continue
+		}
+		got := Div(FromFloat(a), FromFloat(b)).Float()
+		if math.Abs(got-a/b) > 1e-4 {
+			t.Fatalf("Div(%g,%g) = %g, want %g", a, b, got, a/b)
+		}
+	}
+}
+
+func TestDivByZeroSaturates(t *testing.T) {
+	if Div(One, 0) != Max {
+		t.Errorf("1/0 must saturate to Max")
+	}
+	if Div(-One, 0) != Min {
+		t.Errorf("-1/0 must saturate to Min")
+	}
+}
+
+func TestHalfTruncatesDownward(t *testing.T) {
+	if Half(5) != 2 {
+		t.Errorf("Half(5 lsb) = %d", Half(5))
+	}
+	if Half(-5) != -3 {
+		t.Errorf("Half(-5 lsb) = %d, want -3 (floor)", Half(-5))
+	}
+}
+
+// TestHalfStochasticUnbiased verifies the paper's claim: adding 0 or 1 with
+// uniform probability after the truncating division by 2 achieves correct
+// rounding in the statistical sense, i.e. E[HalfStochastic(x)] = x/2.
+func TestHalfStochasticUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, x := range []Fix{1, 3, -1, -3, 12345, -98765, One + 1} {
+		const n = 200000
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += int64(HalfStochastic(x, uint32(rng.Int63()&1)))
+		}
+		mean := float64(sum) / n
+		want := float64(x) / 2
+		if math.Abs(mean-want) > 0.01 {
+			t.Errorf("E[HalfStochastic(%d)] = %v, want %v", x, mean, want)
+		}
+	}
+}
+
+func TestHalfStochasticEvenExact(t *testing.T) {
+	// Even inputs need no dither; both random bits must give the exact half.
+	for _, x := range []Fix{0, 2, -4, 1 << 20} {
+		if HalfStochastic(x, 0) != x/2 || HalfStochastic(x, 1) != x/2 {
+			t.Errorf("HalfStochastic(%d) not exact on even input", x)
+		}
+	}
+}
+
+// TestConsistentTruncationLosesEnergy demonstrates the failure mode the paper
+// describes: repeated truncating halving is biased low, while the stochastic
+// version is not. This is the stagnation-region energy-loss mechanism.
+func TestConsistentTruncationLosesEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 50000
+	var truncSum, stochSum, exactSum float64
+	for i := 0; i < n; i++ {
+		x := Fix(rng.Int31n(1000) + 1)
+		truncSum += float64(Half(x))
+		stochSum += float64(HalfStochastic(x, uint32(rng.Int63()&1)))
+		exactSum += float64(x) / 2
+	}
+	truncBias := (exactSum - truncSum) / n
+	stochBias := math.Abs(exactSum-stochSum) / n
+	if truncBias < 0.2 {
+		t.Errorf("expected consistent truncation to be biased low by ~0.25 LSB, got %v", truncBias)
+	}
+	if stochBias > 0.05 {
+		t.Errorf("stochastic rounding should be unbiased, residual %v", stochBias)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, f := range []float64{0, 0.25, 1, 2, 9, 100, 250} {
+		got := Sqrt(FromFloat(f)).Float()
+		if math.Abs(got-math.Sqrt(f)) > 1e-5*(1+math.Sqrt(f)) {
+			t.Errorf("Sqrt(%g) = %g, want %g", f, got, math.Sqrt(f))
+		}
+	}
+	if Sqrt(-One) != 0 {
+		t.Errorf("Sqrt of negative must return 0")
+	}
+}
+
+func TestSqrtProperty(t *testing.T) {
+	f := func(a int32) bool {
+		x := Fix(a)
+		if x < 0 {
+			x = -x / 2
+		}
+		r := Sqrt(x)
+		// r^2 <= x < (r+eps)^2 within one LSB of rounding.
+		lo := Mul(r, r)
+		hi := Mul(r+2, r+2)
+		return lo <= x+2 && hi >= x-2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDot5ConservedUnderPermutationAndSign(t *testing.T) {
+	// The invariant behind the collision algorithm: permuting components and
+	// flipping signs preserves the squared norm.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		var v [5]Fix
+		for j := range v {
+			v[j] = FromFloat(rng.Float64()*4 - 2)
+		}
+		before := Norm2of5(&v)
+		p := rng.Perm(5)
+		var w [5]Fix
+		for j := range w {
+			w[j] = v[p[j]]
+			if rng.Int63()&1 == 0 {
+				w[j] = -w[j]
+			}
+		}
+		if Norm2of5(&w) != before {
+			t.Fatalf("norm changed under permutation+sign: %d -> %d", before, Norm2of5(&w))
+		}
+	}
+}
+
+func TestDirtyBits(t *testing.T) {
+	x := Fix(0b101101101)
+	if DirtyBits(x, 3) != 0b110 {
+		t.Errorf("DirtyBits skips the lowest bit: got %b", DirtyBits(x, 3))
+	}
+	if DirtyBits(x, 23) >= 1<<23 {
+		t.Errorf("DirtyBits must mask to n bits")
+	}
+}
+
+func TestClampLerpScaleAbsNeg(t *testing.T) {
+	if Clamp(FromInt(5), 0, One) != One {
+		t.Errorf("Clamp high")
+	}
+	if Clamp(FromInt(-5), 0, One) != 0 {
+		t.Errorf("Clamp low")
+	}
+	if got := Lerp(0, FromInt(2), FromFloat(0.5)).Float(); math.Abs(got-1) > 1e-6 {
+		t.Errorf("Lerp = %v", got)
+	}
+	if Scale(One, 3) != 3*One {
+		t.Errorf("Scale")
+	}
+	if Scale(Max, 2) != Max {
+		t.Errorf("Scale must saturate")
+	}
+	if Abs(FromInt(-3)) != FromInt(3) {
+		t.Errorf("Abs")
+	}
+	if Abs(Min) != Max || Neg(Min) != Max {
+		t.Errorf("Abs/Neg of Min must saturate to Max")
+	}
+}

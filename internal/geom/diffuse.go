@@ -1,0 +1,74 @@
+package geom
+
+import (
+	"math"
+
+	"dsmc/internal/rng"
+)
+
+// WallModel selects the gas-surface interaction.
+type WallModel int
+
+// Wall interaction models. Specular is the paper's implementation;
+// DiffuseIsothermal and DiffuseAdiabatic are the extensions its
+// future-work section calls for.
+const (
+	// Specular reflects the velocity about the surface normal (inviscid
+	// wall), allowing direct comparison with 2D inviscid theory.
+	Specular WallModel = iota
+	// DiffuseIsothermal re-emits the particle with a half-space Maxwellian
+	// at the fixed wall temperature (full accommodation, no-slip).
+	DiffuseIsothermal
+	// DiffuseAdiabatic re-emits diffusely but preserves the particle's
+	// speed, so no energy is exchanged with the wall in the mean.
+	DiffuseAdiabatic
+)
+
+// DiffuseState carries the wall parameters for diffuse reflection.
+type DiffuseState struct {
+	Model  WallModel
+	WallCm float64 // most probable speed at the wall temperature
+}
+
+// Emit produces the post-interaction velocity for a particle striking a
+// face with incoming velocity v (2D components; the out-of-plane and
+// rotational components are the caller's responsibility, resampled via
+// EmitAux for isothermal walls). r supplies the randomness.
+func (d DiffuseState) Emit(f Face, v Vec2, r *rng.Stream) Vec2 {
+	switch d.Model {
+	case DiffuseIsothermal:
+		return d.sampleHalfMaxwellian(f, d.WallCm, r)
+	case DiffuseAdiabatic:
+		speed := v.Norm()
+		out := d.sampleHalfMaxwellian(f, d.WallCm, r)
+		n := out.Norm()
+		if n == 0 {
+			return f.ReflectVelocity(v)
+		}
+		return out.Scale(speed / n)
+	default:
+		return f.ReflectVelocity(v)
+	}
+}
+
+// sampleHalfMaxwellian draws from the flux-weighted half-space Maxwellian
+// leaving the face: the normal component has the Rayleigh-type density
+// p(c) ∝ c·exp(-c²/cm²) (because faster molecules leave more often), and
+// the tangential component is a plain Gaussian.
+func (d DiffuseState) sampleHalfMaxwellian(f Face, cm float64, r *rng.Stream) Vec2 {
+	// Normal component: inverse-CDF of the flux-weighted distribution.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	cn := cm * math.Sqrt(-math.Log(u))
+	ct := r.Gaussian(0, cm/math.Sqrt2)
+	tang := Vec2{-f.N.Y, f.N.X}
+	return f.N.Scale(cn).Add(tang.Scale(ct))
+}
+
+// EmitAux resamples an out-of-plane or rotational velocity component for
+// an isothermal diffuse interaction (thermal equilibrium with the wall).
+func (d DiffuseState) EmitAux(r *rng.Stream) float64 {
+	return r.Gaussian(0, d.WallCm/math.Sqrt2)
+}

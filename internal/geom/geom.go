@@ -1,0 +1,181 @@
+// Package geom provides the wind-tunnel geometry of the simulation: the
+// inclined wedge (the only body the paper's implementation supports, as an
+// "inclined flat plate" ramp), the tunnel walls, and the boundary
+// interactions — specular (inviscid) reflection as in the paper, plus the
+// diffuse isothermal reflection listed in the paper's future work.
+package geom
+
+import "math"
+
+// Vec2 is a 2D vector in cell units.
+type Vec2 struct{ X, Y float64 }
+
+// Add returns a+b.
+func (a Vec2) Add(b Vec2) Vec2 { return Vec2{a.X + b.X, a.Y + b.Y} }
+
+// Sub returns a-b.
+func (a Vec2) Sub(b Vec2) Vec2 { return Vec2{a.X - b.X, a.Y - b.Y} }
+
+// Dot returns the dot product.
+func (a Vec2) Dot(b Vec2) float64 { return a.X*b.X + a.Y*b.Y }
+
+// Scale returns s·a.
+func (a Vec2) Scale(s float64) Vec2 { return Vec2{s * a.X, s * a.Y} }
+
+// Norm returns |a|.
+func (a Vec2) Norm() float64 { return math.Hypot(a.X, a.Y) }
+
+// Face is an oriented planar surface element: a point on the surface and
+// the unit normal pointing into the gas.
+type Face struct {
+	P Vec2 // a point on the face
+	N Vec2 // unit outward (into-gas) normal
+}
+
+// Depth returns the penetration depth of point p behind the face
+// (positive when p is on the solid side).
+func (f Face) Depth(p Vec2) float64 { return -f.N.Dot(p.Sub(f.P)) }
+
+// MirrorPosition reflects a penetrating position back across the face.
+func (f Face) MirrorPosition(p Vec2) Vec2 {
+	d := f.N.Dot(p.Sub(f.P))
+	return p.Sub(f.N.Scale(2 * d))
+}
+
+// ReflectVelocity specularly reflects v if it points into the surface;
+// velocities already leaving the surface are unchanged (this keeps the
+// iterated corner handling from double-flipping).
+func (f Face) ReflectVelocity(v Vec2) Vec2 {
+	vn := f.N.Dot(v)
+	if vn >= 0 {
+		return v
+	}
+	return v.Sub(f.N.Scale(2 * vn))
+}
+
+// Wedge is the test body: a ramp rising from the lower wall at the given
+// angle, with a vertical back face — the paper's configuration has the
+// leading edge 20 cells from the upstream boundary, a 25-cell base and a
+// 30° incline, with a single expansion corner at the apex.
+type Wedge struct {
+	LeadX float64 // x of the leading edge on the lower wall
+	Base  float64 // base length along the wall, cells
+	Angle float64 // ramp angle, radians
+}
+
+// Height returns the apex height Base·tan(Angle).
+func (w Wedge) Height() float64 { return w.Base * math.Tan(w.Angle) }
+
+// Apex returns the expansion-corner vertex.
+func (w Wedge) Apex() Vec2 { return Vec2{w.LeadX + w.Base, w.Height()} }
+
+// TrailX returns the x coordinate of the back face.
+func (w Wedge) TrailX() float64 { return w.LeadX + w.Base }
+
+// Vertices returns the triangle (leading edge, trailing edge, apex).
+func (w Wedge) Vertices() [3]Vec2 {
+	return [3]Vec2{{w.LeadX, 0}, {w.TrailX(), 0}, w.Apex()}
+}
+
+// Contains reports whether p is strictly inside the wedge body.
+func (w Wedge) Contains(p Vec2) bool {
+	if p.X <= w.LeadX || p.X >= w.TrailX() || p.Y <= 0 {
+		return false
+	}
+	return p.Y < (p.X-w.LeadX)*math.Tan(w.Angle)
+}
+
+// Faces returns the two gas-facing faces of the wedge: the ramp
+// (hypotenuse) and the vertical back face. The base coincides with the
+// lower wall and is never gas-facing.
+func (w Wedge) Faces() [2]Face {
+	s, c := math.Sin(w.Angle), math.Cos(w.Angle)
+	return [2]Face{
+		{P: Vec2{w.LeadX, 0}, N: Vec2{-s, c}},   // ramp: outward up-left normal
+		{P: Vec2{w.TrailX(), 0}, N: Vec2{1, 0}}, // back face: downstream normal
+	}
+}
+
+// Tunnel is the wind-tunnel domain: x in [0, W], y in [0, H], with an
+// optional wedge on the lower wall. The upstream (x=0) boundary is the
+// plunger, owned by the simulation; the downstream (x=W) boundary is the
+// soft sink, also owned by the simulation.
+type Tunnel struct {
+	W, H  float64
+	Wedge *Wedge
+}
+
+// maxBounces bounds the mirror iteration; a particle cannot legitimately
+// cross more than a few surfaces in one step when velocities are below a
+// cell per step, and corner pockets converge within this bound.
+const maxBounces = 8
+
+// ReflectSpecular applies the paper's inviscid boundary interaction to a
+// particle that has just completed its collisionless move: positions
+// beyond the hard walls or inside the wedge are mirrored across the
+// violated surface and the normal velocity component is reversed. The
+// mirroring iterates to handle corners (wall+ramp). Returns the corrected
+// position and velocity.
+func (t *Tunnel) ReflectSpecular(p, v Vec2) (Vec2, Vec2) {
+	for b := 0; b < maxBounces; b++ {
+		switch {
+		case p.Y < 0:
+			p.Y = -p.Y
+			if v.Y < 0 {
+				v.Y = -v.Y
+			}
+		case p.Y > t.H:
+			p.Y = 2*t.H - p.Y
+			if v.Y > 0 {
+				v.Y = -v.Y
+			}
+		case t.Wedge != nil && t.Wedge.Contains(p):
+			f := t.nearestWedgeFace(p)
+			p = f.MirrorPosition(p)
+			v = f.ReflectVelocity(v)
+		default:
+			return p, v
+		}
+	}
+	// Degenerate pocket: place the particle on the nearest free spot and
+	// let the next step carry it out.
+	p = t.clampFree(p)
+	return p, v
+}
+
+// nearestWedgeFace returns the wedge face with the smallest penetration
+// depth for an interior point — the surface the particle most plausibly
+// crossed during the step.
+func (t *Tunnel) nearestWedgeFace(p Vec2) Face {
+	faces := t.Wedge.Faces()
+	best := faces[0]
+	bestDepth := best.Depth(p)
+	if d := faces[1].Depth(p); d < bestDepth {
+		best, bestDepth = faces[1], d
+	}
+	return best
+}
+
+// clampFree nudges a position to the domain interior outside the wedge.
+func (t *Tunnel) clampFree(p Vec2) Vec2 {
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y > t.H {
+		p.Y = t.H
+	}
+	if t.Wedge != nil && t.Wedge.Contains(p) {
+		f := t.nearestWedgeFace(p)
+		p = p.Add(f.N.Scale(f.Depth(p) + 1e-9))
+	}
+	return p
+}
+
+// Inside reports whether p lies in the gas region of the tunnel
+// (within the walls and outside the wedge).
+func (t *Tunnel) Inside(p Vec2) bool {
+	if p.Y < 0 || p.Y > t.H || p.X < 0 || p.X > t.W {
+		return false
+	}
+	return t.Wedge == nil || !t.Wedge.Contains(p)
+}

@@ -1,0 +1,288 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsmc/internal/rng"
+)
+
+const deg = math.Pi / 180
+
+func paperWedge() Wedge { return Wedge{LeadX: 20, Base: 25, Angle: 30 * deg} }
+
+func TestWedgeDerivedGeometry(t *testing.T) {
+	w := paperWedge()
+	if math.Abs(w.Height()-25*math.Tan(30*deg)) > 1e-12 {
+		t.Errorf("Height = %v", w.Height())
+	}
+	if w.TrailX() != 45 {
+		t.Errorf("TrailX = %v", w.TrailX())
+	}
+	apex := w.Apex()
+	if apex.X != 45 || math.Abs(apex.Y-w.Height()) > 1e-12 {
+		t.Errorf("Apex = %v", apex)
+	}
+}
+
+func TestWedgeContains(t *testing.T) {
+	w := paperWedge()
+	cases := []struct {
+		p    Vec2
+		want bool
+	}{
+		{Vec2{10, 1}, false},      // upstream of wedge
+		{Vec2{30, 1}, true},       // under the ramp
+		{Vec2{30, 10}, false},     // above the ramp
+		{Vec2{44, 10}, true},      // deep interior near back
+		{Vec2{50, 1}, false},      // downstream
+		{Vec2{30, -1}, false},     // below the wall is not "inside wedge"
+		{Vec2{20, 0.5}, false},    // leading edge boundary
+		{Vec2{45.0001, 5}, false}, // just past back face
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFaceNormalsAreUnitAndOutward(t *testing.T) {
+	w := paperWedge()
+	faces := w.Faces()
+	for i, f := range faces {
+		if math.Abs(f.N.Norm()-1) > 1e-12 {
+			t.Errorf("face %d normal not unit: %v", i, f.N)
+		}
+	}
+	// A point just outside the ramp must have negative depth (gas side).
+	outside := Vec2{30, (30-20)*math.Tan(30*deg) + 0.1}
+	if faces[0].Depth(outside) > 0 {
+		t.Errorf("gas-side point has positive penetration depth")
+	}
+	inside := Vec2{30, (30-20)*math.Tan(30*deg) - 0.1}
+	if faces[0].Depth(inside) < 0 {
+		t.Errorf("solid-side point has negative depth")
+	}
+}
+
+func TestMirrorPositionInvolution(t *testing.T) {
+	f := Face{P: Vec2{0, 0}, N: Vec2{0, 1}}
+	p := Vec2{3, -0.5}
+	m := f.MirrorPosition(p)
+	if math.Abs(m.Y-0.5) > 1e-12 || m.X != 3 {
+		t.Errorf("mirror across y=0: %v", m)
+	}
+	if got := f.MirrorPosition(m); math.Abs(got.Y-p.Y) > 1e-12 {
+		t.Errorf("mirror must be an involution")
+	}
+}
+
+func TestReflectVelocityOnlyWhenIncoming(t *testing.T) {
+	f := Face{P: Vec2{0, 0}, N: Vec2{0, 1}}
+	in := Vec2{1, -2}
+	out := f.ReflectVelocity(in)
+	if out.Y != 2 || out.X != 1 {
+		t.Errorf("specular reflection wrong: %v", out)
+	}
+	leaving := Vec2{1, 2}
+	if f.ReflectVelocity(leaving) != leaving {
+		t.Errorf("outgoing velocity must not be re-flipped")
+	}
+}
+
+func TestReflectVelocityPreservesSpeed(t *testing.T) {
+	w := paperWedge()
+	ramp := w.Faces()[0]
+	f := func(vx, vy float64) bool {
+		v := Vec2{math.Mod(vx, 3), math.Mod(vy, 3)}
+		r := ramp.ReflectVelocity(v)
+		return math.Abs(r.Norm()-v.Norm()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTunnelWallReflection(t *testing.T) {
+	tun := &Tunnel{W: 98, H: 64}
+	// Below the floor.
+	p, v := tun.ReflectSpecular(Vec2{10, -0.3}, Vec2{0.5, -0.2})
+	if math.Abs(p.Y-0.3) > 1e-12 || v.Y != 0.2 {
+		t.Errorf("floor reflection: p=%v v=%v", p, v)
+	}
+	// Above the ceiling.
+	p, v = tun.ReflectSpecular(Vec2{10, 64.5}, Vec2{0.5, 0.2})
+	if math.Abs(p.Y-63.5) > 1e-12 || v.Y != -0.2 {
+		t.Errorf("ceiling reflection: p=%v v=%v", p, v)
+	}
+	// Interior point untouched.
+	p0, v0 := Vec2{5, 5}, Vec2{1, 1}
+	if p, v = tun.ReflectSpecular(p0, v0); p != p0 || v != v0 {
+		t.Errorf("interior point must be unchanged")
+	}
+}
+
+func TestTunnelWedgeReflection(t *testing.T) {
+	w := paperWedge()
+	tun := &Tunnel{W: 98, H: 64, Wedge: &w}
+	// A particle that has just punched slightly through the ramp.
+	surfY := func(x float64) float64 { return (x - 20) * math.Tan(30*deg) }
+	p0 := Vec2{30, surfY(30) - 0.05}
+	v0 := Vec2{0.4, -0.1}
+	p, v := tun.ReflectSpecular(p0, v0)
+	if w.Contains(p) {
+		t.Errorf("reflected position still inside wedge: %v", p)
+	}
+	if math.Abs(v.Norm()-v0.Norm()) > 1e-12 {
+		t.Errorf("specular reflection must preserve speed")
+	}
+	// Velocity must now move away from the ramp.
+	if w.Faces()[0].N.Dot(v) < 0 {
+		t.Errorf("velocity still into the ramp after reflection")
+	}
+}
+
+func TestTunnelBackFaceReflection(t *testing.T) {
+	w := paperWedge()
+	tun := &Tunnel{W: 98, H: 64, Wedge: &w}
+	// Particle in the wake hitting the vertical back face from downstream.
+	p0 := Vec2{44.9, 3}
+	v0 := Vec2{-0.5, 0}
+	p, v := tun.ReflectSpecular(p0, v0)
+	if w.Contains(p) {
+		t.Errorf("still inside wedge: %v", p)
+	}
+	if v.X <= 0 {
+		t.Errorf("back-face reflection must reverse u: %v", v)
+	}
+	if p.X < 45 {
+		t.Errorf("mirrored position must be downstream of the back face: %v", p)
+	}
+}
+
+// TestCornerPocketTerminates drives a particle into the wall/ramp corner,
+// where multiple mirrors are needed; the iteration must terminate with a
+// legal position.
+func TestCornerPocketTerminates(t *testing.T) {
+	w := paperWedge()
+	tun := &Tunnel{W: 98, H: 64, Wedge: &w}
+	p, _ := tun.ReflectSpecular(Vec2{20.4, -0.2}, Vec2{0.7, -0.5})
+	if !tun.Inside(p) {
+		t.Errorf("corner reflection produced illegal position %v", p)
+	}
+}
+
+func TestReflectionPropertyNeverInsideWedge(t *testing.T) {
+	w := paperWedge()
+	tun := &Tunnel{W: 98, H: 64, Wedge: &w}
+	r := rng.NewStream(11)
+	for i := 0; i < 20000; i++ {
+		p0 := Vec2{r.Float64() * 98, r.Float64()*64 - 2}
+		v0 := Vec2{r.Float64()*2 - 1, r.Float64()*2 - 1}
+		p, v := tun.ReflectSpecular(p0, v0)
+		if p.Y < 0 || p.Y > 64 || (w.Contains(p)) {
+			t.Fatalf("illegal corrected position %v from %v", p, p0)
+		}
+		if math.Abs(v.Norm()-v0.Norm()) > 1e-9 {
+			t.Fatalf("speed not preserved: %v -> %v", v0, v)
+		}
+	}
+}
+
+func TestInside(t *testing.T) {
+	w := paperWedge()
+	tun := &Tunnel{W: 98, H: 64, Wedge: &w}
+	if !tun.Inside(Vec2{5, 5}) {
+		t.Errorf("free point must be inside")
+	}
+	if tun.Inside(Vec2{30, 1}) {
+		t.Errorf("wedge interior is not gas")
+	}
+	if tun.Inside(Vec2{-1, 5}) || tun.Inside(Vec2{99, 5}) {
+		t.Errorf("outside x bounds is not gas")
+	}
+}
+
+func TestDiffuseIsothermalEmitsOutward(t *testing.T) {
+	f := Face{P: Vec2{0, 0}, N: Vec2{0, 1}}
+	d := DiffuseState{Model: DiffuseIsothermal, WallCm: 0.2}
+	r := rng.NewStream(13)
+	var meanN float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := d.Emit(f, Vec2{0.3, -0.4}, &r)
+		if v.Y <= 0 {
+			t.Fatalf("diffuse emission must leave the wall, got %v", v)
+		}
+		meanN += v.Y
+	}
+	// Flux-weighted half-Maxwellian normal component has mean cm·√π/2.
+	want := 0.2 * math.SqrtPi / 2
+	if math.Abs(meanN/n-want) > 0.01*want+0.002 {
+		t.Errorf("mean normal emission speed %v, want %v", meanN/n, want)
+	}
+}
+
+func TestDiffuseAdiabaticPreservesSpeed(t *testing.T) {
+	f := Face{P: Vec2{0, 0}, N: Vec2{0, 1}}
+	d := DiffuseState{Model: DiffuseAdiabatic, WallCm: 0.2}
+	r := rng.NewStream(17)
+	in := Vec2{0.3, -0.4}
+	for i := 0; i < 1000; i++ {
+		out := d.Emit(f, in, &r)
+		if math.Abs(out.Norm()-in.Norm()) > 1e-12 {
+			t.Fatalf("adiabatic wall must preserve speed: %v", out)
+		}
+		if out.Y <= 0 {
+			t.Fatalf("adiabatic emission must leave the wall")
+		}
+	}
+}
+
+func TestSpecularModelDelegates(t *testing.T) {
+	f := Face{P: Vec2{0, 0}, N: Vec2{0, 1}}
+	d := DiffuseState{Model: Specular}
+	r := rng.NewStream(19)
+	in := Vec2{0.3, -0.4}
+	out := d.Emit(f, in, &r)
+	if out.X != 0.3 || out.Y != 0.4 {
+		t.Errorf("specular model must mirror: %v", out)
+	}
+}
+
+func TestEmitAuxMoments(t *testing.T) {
+	d := DiffuseState{Model: DiffuseIsothermal, WallCm: 0.3}
+	r := rng.NewStream(23)
+	var sum, sum2 float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := d.EmitAux(&r)
+		sum += x
+		sum2 += x * x
+	}
+	if math.Abs(sum/n) > 0.005 {
+		t.Errorf("EmitAux mean = %v", sum/n)
+	}
+	want := 0.3 * 0.3 / 2
+	if math.Abs(sum2/n-want) > 0.002 {
+		t.Errorf("EmitAux variance = %v, want %v", sum2/n, want)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec2{1, 2}, Vec2{3, -1}
+	if a.Add(b) != (Vec2{4, 1}) || a.Sub(b) != (Vec2{-2, 3}) {
+		t.Errorf("Add/Sub")
+	}
+	if a.Dot(b) != 1 {
+		t.Errorf("Dot = %v", a.Dot(b))
+	}
+	if a.Scale(2) != (Vec2{2, 4}) {
+		t.Errorf("Scale")
+	}
+	if math.Abs(Vec2{3, 4}.Norm()-5) > 1e-15 {
+		t.Errorf("Norm")
+	}
+}

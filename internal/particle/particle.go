@@ -1,0 +1,136 @@
+// Package particle provides the particle containers of the float64
+// reference simulation: a structure-of-arrays store for the flow
+// particles (the layout a vectorized implementation sweeps over) and the
+// reservoir that receives particles leaving the downstream boundary,
+// re-velocities them with a rectangular distribution, lets them relax by
+// colliding amongst themselves, and supplies them back to the upstream
+// plunger void.
+package particle
+
+import (
+	"dsmc/internal/collide"
+	"dsmc/internal/rng"
+)
+
+// Store holds particles in structure-of-arrays layout. The physical state
+// per particle is (x, y, u, v, w, r1, r2): 7 values in 2D, exactly the
+// paper's count. Cell is derived (computational) state.
+type Store struct {
+	X, Y    []float64
+	U, V, W []float64
+	R1, R2  []float64
+	// Evib is the continuous vibrational energy per particle (the
+	// future-work extension); zero unless the simulation enables
+	// vibrational relaxation.
+	Evib []float64
+	Cell []int32
+	n    int
+}
+
+// NewStore returns a store with the given capacity and zero particles.
+func NewStore(capacity int) *Store {
+	return &Store{
+		X: make([]float64, capacity), Y: make([]float64, capacity),
+		U: make([]float64, capacity), V: make([]float64, capacity),
+		W:  make([]float64, capacity),
+		R1: make([]float64, capacity), R2: make([]float64, capacity),
+		Evib: make([]float64, capacity),
+		Cell: make([]int32, capacity),
+	}
+}
+
+// Len returns the number of live particles.
+func (s *Store) Len() int { return s.n }
+
+// Cap returns the store capacity.
+func (s *Store) Cap() int { return len(s.X) }
+
+// Append adds a particle and returns its index, or -1 if full.
+func (s *Store) Append(x, y float64, v collide.State5) int {
+	if s.n >= len(s.X) {
+		return -1
+	}
+	i := s.n
+	s.n++
+	s.X[i], s.Y[i] = x, y
+	s.Evib[i] = 0
+	s.SetVel(i, v)
+	return i
+}
+
+// Vel returns the five velocity components of particle i.
+func (s *Store) Vel(i int) collide.State5 {
+	return collide.State5{s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i]}
+}
+
+// SetVel stores the five velocity components of particle i.
+func (s *Store) SetVel(i int, v collide.State5) {
+	s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i] = v[0], v[1], v[2], v[3], v[4]
+}
+
+// RemoveSwap deletes particle i by moving the last particle into its slot.
+// Returns the index that now holds a different particle (i, unless i was
+// last).
+func (s *Store) RemoveSwap(i int) {
+	last := s.n - 1
+	if i != last {
+		s.X[i], s.Y[i] = s.X[last], s.Y[last]
+		s.U[i], s.V[i], s.W[i] = s.U[last], s.V[last], s.W[last]
+		s.R1[i], s.R2[i] = s.R1[last], s.R2[last]
+		s.Evib[i] = s.Evib[last]
+		s.Cell[i] = s.Cell[last]
+	}
+	s.n = last
+}
+
+// Reset empties the store without releasing memory.
+func (s *Store) Reset() { s.n = 0 }
+
+// TotalEnergy returns Σ(u²+v²+w²+r1²+r2²) over live particles (per unit
+// mass, factor ½ omitted) — the conservation diagnostic.
+func (s *Store) TotalEnergy() float64 {
+	var e float64
+	for i := 0; i < s.n; i++ {
+		e += s.U[i]*s.U[i] + s.V[i]*s.V[i] + s.W[i]*s.W[i] + s.R1[i]*s.R1[i] + s.R2[i]*s.R2[i]
+	}
+	return e
+}
+
+// TotalMomentum returns the summed translational momentum components.
+func (s *Store) TotalMomentum() (px, py, pz float64) {
+	for i := 0; i < s.n; i++ {
+		px += s.U[i]
+		py += s.V[i]
+		pz += s.W[i]
+	}
+	return px, py, pz
+}
+
+// InitFreestream fills the store with count particles uniformly
+// distributed over the region accepted by inRegion, with drifting
+// Maxwellian velocities: mean (uDrift, 0, 0), each component std sigma.
+// Rotational components are sampled at the same temperature
+// (equipartition). Returns the number actually placed.
+func (s *Store) InitFreestream(count int, w, h, uDrift, sigma float64,
+	inRegion func(x, y float64) bool, r *rng.Stream) int {
+	placed := 0
+	for placed < count {
+		x := r.Float64() * w
+		y := r.Float64() * h
+		if !inRegion(x, y) {
+			continue
+		}
+		v := collide.State5{
+			uDrift + r.Gaussian(0, sigma),
+			r.Gaussian(0, sigma),
+			r.Gaussian(0, sigma),
+			r.Gaussian(0, sigma),
+			r.Gaussian(0, sigma),
+		}
+		if s.Append(x, y, v) < 0 {
+			break
+		}
+		placed++
+	}
+	return placed
+}

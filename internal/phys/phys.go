@@ -1,0 +1,240 @@
+// Package phys collects the compressible-flow and kinetic-theory relations
+// used to calibrate the simulation and validate its results, exactly the
+// checks the paper applies: the oblique-shock angle from θ–β–M theory, the
+// Rankine–Hugoniot density rise, and the Prandtl–Meyer expansion around
+// the wedge corner.
+//
+// Units follow the simulation normalisation: lengths in cell widths, times
+// in time steps, velocities in cells per step. Temperature enters only
+// through the freestream most-probable speed.
+package phys
+
+import (
+	"errors"
+	"math"
+)
+
+// GammaDiatomic is the ratio of specific heats for the paper's molecular
+// model: three translational and two rotational degrees of freedom give
+// γ = (5+2)/5 = 7/5.
+const GammaDiatomic = 1.4
+
+// Freestream bundles the normalised freestream state.
+type Freestream struct {
+	Mach   float64 // Mach number
+	Cm     float64 // most probable thermal speed, cells/step
+	Lambda float64 // mean free path, cells (0 = near-continuum mode)
+	Gamma  float64 // ratio of specific heats
+}
+
+// SoundSpeed returns the freestream speed of sound a = cm·sqrt(γ/2),
+// since a = sqrt(γRT) and cm = sqrt(2RT).
+func (f Freestream) SoundSpeed() float64 { return f.Cm * math.Sqrt(f.Gamma/2) }
+
+// Velocity returns the freestream flow speed u = M·a in cells/step.
+func (f Freestream) Velocity() float64 { return f.Mach * f.SoundSpeed() }
+
+// SpeedRatio returns the molecular speed ratio s = u/cm.
+func (f Freestream) SpeedRatio() float64 { return f.Velocity() / f.Cm }
+
+// MeanSpeed returns the mean thermal speed c̄ = (2/√π)·cm.
+func (f Freestream) MeanSpeed() float64 { return f.Cm * 2 / math.SqrtPi }
+
+// ComponentSigma returns the standard deviation of each velocity
+// component at equilibrium: cm/√2 (each quadratic degree of freedom
+// carries kT/2).
+func (f Freestream) ComponentSigma() float64 { return f.Cm / math.Sqrt2 }
+
+// CollisionTime returns the freestream mean collision time t_c = λ/c̄.
+// Near-continuum mode (λ = 0) returns 0.
+func (f Freestream) CollisionTime() float64 {
+	if f.Lambda <= 0 {
+		return 0
+	}
+	return f.Lambda / f.MeanSpeed()
+}
+
+// SelectionPInf returns the freestream selection probability
+// P∞ = Δt/t_c∞ (Δt = 1 in normalised units) used by the selection rule,
+// eq. (4) of the paper. Near-continuum mode returns 1 (all candidates
+// collide). The paper's validity constraint P∞ ≲ 1/3 is the caller's
+// responsibility; ValidateTimeStep checks it.
+func (f Freestream) SelectionPInf() float64 {
+	tc := f.CollisionTime()
+	if tc == 0 {
+		return 1
+	}
+	p := 1 / tc
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ErrTimeStepTooLarge indicates the time step violates the selection-rule
+// constraint that Δt be 3–4 times smaller than the mean collision time.
+var ErrTimeStepTooLarge = errors.New("phys: time step exceeds t_c/3; selection rule invalid (reduce Cm or increase Lambda)")
+
+// ValidateTimeStep enforces the paper's constraint on the selection rule
+// (P_c = Δt/t_c valid only if Δt ≤ t_c/3). Near-continuum mode is exempt:
+// there every candidate pair collides by construction.
+func (f Freestream) ValidateTimeStep() error {
+	if f.Lambda <= 0 {
+		return nil
+	}
+	if f.SelectionPInf() > 1.0/3+1e-12 {
+		return ErrTimeStepTooLarge
+	}
+	return nil
+}
+
+// Knudsen returns the Knudsen number λ/L for a body of length L cells.
+func (f Freestream) Knudsen(bodyLength float64) float64 {
+	return f.Lambda / bodyLength
+}
+
+// Reynolds returns the Reynolds number from the Kn–M–Re relation for a
+// hard-sphere-like gas, Kn = sqrt(γπ/2)·M/Re. For the paper's rarefied
+// case (M=4, Kn=0.02) this gives Re ≈ 300; the paper quotes 600, which
+// corresponds to a viscosity coefficient about half the hard-sphere value
+// (Maxwell molecules are softer). Both are recorded in EXPERIMENTS.md.
+func (f Freestream) Reynolds(bodyLength float64) float64 {
+	kn := f.Knudsen(bodyLength)
+	if kn <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(f.Gamma*math.Pi/2) * f.Mach / kn
+}
+
+// MachAngle returns the Mach angle µ = asin(1/M); M must be ≥ 1.
+func MachAngle(m float64) float64 { return math.Asin(1 / m) }
+
+// thetaFromBeta evaluates the θ–β–M relation:
+// tan θ = 2·cot β·(M²sin²β − 1) / (M²(γ + cos 2β) + 2).
+func thetaFromBeta(m, beta, gamma float64) float64 {
+	s := math.Sin(beta)
+	num := 2 * (m*m*s*s - 1) / math.Tan(beta)
+	den := m*m*(gamma+math.Cos(2*beta)) + 2
+	return math.Atan(num / den)
+}
+
+// ErrDetachedShock indicates the wedge angle exceeds the maximum for an
+// attached oblique shock at this Mach number.
+var ErrDetachedShock = errors.New("phys: no attached oblique shock (deflection exceeds maximum)")
+
+// ObliqueShockBeta solves the θ–β–M relation for the weak-shock wave angle
+// β given the flow deflection θ (radians). For the paper's validation
+// case, M=4 and θ=30° give β=45°.
+func ObliqueShockBeta(m, theta, gamma float64) (float64, error) {
+	if m <= 1 {
+		return 0, errors.New("phys: oblique shock requires supersonic flow")
+	}
+	lo := MachAngle(m)
+	// Find the β of maximum deflection by golden-section-free scan, then
+	// bisect on the weak branch [µ, βmax].
+	hi := math.Pi / 2
+	betaMax, thetaMax := lo, 0.0
+	for i := 0; i <= 2000; i++ {
+		b := lo + (hi-lo)*float64(i)/2000
+		if th := thetaFromBeta(m, b, gamma); th > thetaMax {
+			thetaMax, betaMax = th, b
+		}
+	}
+	if theta > thetaMax {
+		return 0, ErrDetachedShock
+	}
+	a, b := lo, betaMax
+	for i := 0; i < 200; i++ {
+		mid := (a + b) / 2
+		if thetaFromBeta(m, mid, gamma) < theta {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// NormalMach returns the normal component of the upstream Mach number for
+// wave angle β.
+func NormalMach(m, beta float64) float64 { return m * math.Sin(beta) }
+
+// RHDensityRatio returns ρ2/ρ1 across a shock with upstream normal Mach
+// number m1n (Rankine–Hugoniot). For the paper's case (M=4, β=45°,
+// M1n = 2.83) this is 3.7.
+func RHDensityRatio(m1n, gamma float64) float64 {
+	return (gamma + 1) * m1n * m1n / ((gamma-1)*m1n*m1n + 2)
+}
+
+// RHPressureRatio returns p2/p1 across the shock.
+func RHPressureRatio(m1n, gamma float64) float64 {
+	return 1 + 2*gamma/(gamma+1)*(m1n*m1n-1)
+}
+
+// RHTemperatureRatio returns T2/T1 across the shock.
+func RHTemperatureRatio(m1n, gamma float64) float64 {
+	return RHPressureRatio(m1n, gamma) / RHDensityRatio(m1n, gamma)
+}
+
+// PostShockNormalMach returns the downstream normal Mach number.
+func PostShockNormalMach(m1n, gamma float64) float64 {
+	return math.Sqrt((1 + (gamma-1)/2*m1n*m1n) / (gamma*m1n*m1n - (gamma-1)/2))
+}
+
+// PostObliqueShockMach returns the full downstream Mach number after an
+// oblique shock of wave angle beta with deflection theta.
+func PostObliqueShockMach(m, beta, theta, gamma float64) float64 {
+	m2n := PostShockNormalMach(NormalMach(m, beta), gamma)
+	return m2n / math.Sin(beta-theta)
+}
+
+// PrandtlMeyer returns the Prandtl–Meyer function ν(M) in radians.
+func PrandtlMeyer(m, gamma float64) float64 {
+	if m <= 1 {
+		return 0
+	}
+	k := math.Sqrt((gamma + 1) / (gamma - 1))
+	t := math.Sqrt(m*m - 1)
+	return k*math.Atan(t/k) - math.Atan(t)
+}
+
+// PrandtlMeyerInverse returns the Mach number with ν(M) = nu (radians),
+// by bisection on [1, 100].
+func PrandtlMeyerInverse(nu, gamma float64) float64 {
+	lo, hi := 1.0, 100.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if PrandtlMeyer(mid, gamma) < nu {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ExpansionDensityRatio returns ρ2/ρ1 for an isentropic Prandtl–Meyer
+// expansion turning the flow by dTheta radians from upstream Mach m1.
+func ExpansionDensityRatio(m1, dTheta, gamma float64) float64 {
+	m2 := PrandtlMeyerInverse(PrandtlMeyer(m1, gamma)+dTheta, gamma)
+	f := func(m float64) float64 { return 1 + (gamma-1)/2*m*m }
+	// ρ ∝ (1 + (γ-1)/2 M²)^(-1/(γ-1)) along an isentrope.
+	return math.Pow(f(m1)/f(m2), 1/(gamma-1))
+}
+
+// IsentropicDensityRatio returns ρ/ρ0 (static over stagnation) at Mach m.
+func IsentropicDensityRatio(m, gamma float64) float64 {
+	return math.Pow(1+(gamma-1)/2*m*m, -1/(gamma-1))
+}
+
+// MaxwellSpeedPDF returns the probability density of molecular speed c for
+// a gas with most probable speed cm (3D Maxwell distribution).
+func MaxwellSpeedPDF(c, cm float64) float64 {
+	x := c / cm
+	return 4 / math.SqrtPi * x * x * math.Exp(-x*x) / cm
+}
+
+// EquilibriumEnergyPerParticle returns the mean total (translational +
+// rotational) thermal energy per particle divided by m, for 5 quadratic
+// degrees of freedom with component variance sigma²: (5/2)·sigma².
+func EquilibriumEnergyPerParticle(sigma float64) float64 { return 2.5 * sigma * sigma }

@@ -1,0 +1,118 @@
+// Package rng provides the random-number machinery of the particle
+// simulation: cheap per-lane generator streams (one independent stream per
+// virtual processor, matching the per-processor randomness of the CM-2
+// implementation), the front-end table of the 120 permutations of five
+// elements used to initialise particle permutation vectors, random
+// transpositions for refreshing those vectors, and the velocity-distribution
+// samplers (rectangular and drifting-Maxwellian) needed by the reservoir and
+// the freestream initialisation.
+package rng
+
+import "math"
+
+// splitmix64 advances the seeding state; used to derive well-separated
+// per-lane stream seeds from a single master seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a single xorshift64* generator with a cached Box–Muller spare.
+// The zero value is invalid; create streams with NewStream or Streams.
+type Stream struct {
+	s         uint64
+	spare     float64
+	haveSpare bool
+}
+
+// NewStream returns a stream seeded from seed via splitmix64, so that
+// nearby seeds yield uncorrelated streams.
+func NewStream(seed uint64) Stream {
+	st := seed
+	return Stream{s: splitmix64(&st) | 1}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Stream) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns 32 random bits.
+func (r *Stream) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Bit returns a single random bit as 0 or 1.
+func (r *Stream) Bit() uint32 { return uint32(r.Uint64() >> 63) }
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *Stream) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Rect returns a sample from the rectangular (uniform) distribution with
+// mean 0 and the given standard deviation: uniform on
+// [-sigma*sqrt(3), sigma*sqrt(3)]. This is the distribution the reservoir
+// assigns to incoming particles; collisions then relax it to a Gaussian.
+func (r *Stream) Rect(sigma float64) float64 {
+	halfWidth := sigma * math.Sqrt(3)
+	return (2*r.Float64() - 1) * halfWidth
+}
+
+// Normal returns a standard normal sample via the Box–Muller transform.
+// The second value of each pair is cached.
+func (r *Stream) Normal() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	m := math.Sqrt(-2 * math.Log(u))
+	r.spare = m * math.Sin(2*math.Pi*v)
+	r.haveSpare = true
+	return m * math.Cos(2*math.Pi*v)
+}
+
+// Gaussian returns a normal sample with the given mean and std deviation.
+func (r *Stream) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*r.Normal()
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)) using the
+// Fisher–Yates (Knuth) shuffle, the algorithm the paper cites from Knuth
+// vol. 2 for generating the front-end permutation table.
+func (r *Stream) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Streams creates n independent streams seeded from a master seed,
+// one per virtual processor lane.
+func Streams(seed uint64, n int) []Stream {
+	st := seed
+	out := make([]Stream, n)
+	for i := range out {
+		out[i] = Stream{s: splitmix64(&st) | 1}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsIndependence(t *testing.T) {
+	ss := Streams(42, 4)
+	a, b := ss[0].Uint64(), ss[1].Uint64()
+	if a == b {
+		t.Errorf("adjacent streams produced identical first output")
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	s1 := Streams(7, 3)
+	s2 := Streams(7, 3)
+	for i := range s1 {
+		if s1[i].Uint64() != s2[i].Uint64() {
+			t.Errorf("stream %d not reproducible", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewStream(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewStream(2)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(5) biased: count[%d] = %d", v, c)
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	r := NewStream(3)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		b := r.Bit()
+		if b > 1 {
+			t.Fatalf("Bit returned %d", b)
+		}
+		ones += int(b)
+	}
+	if math.Abs(float64(ones)/n-0.5) > 0.01 {
+		t.Errorf("Bit bias: %v", float64(ones)/n)
+	}
+}
+
+func TestRectMoments(t *testing.T) {
+	r := NewStream(4)
+	const sigma = 2.5
+	const n = 400000
+	var sum, sum2, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.Rect(sigma)
+		sum += x
+		sum2 += x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sum2 / n
+	kurt := (sum4 / n) / (variance * variance)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Rect mean = %v", mean)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.1 {
+		t.Errorf("Rect variance = %v, want %v", variance, sigma*sigma)
+	}
+	// Uniform distribution kurtosis is 9/5; this is what distinguishes the
+	// reservoir's rectangular velocities from a relaxed Gaussian (kurt 3).
+	if math.Abs(kurt-1.8) > 0.05 {
+		t.Errorf("Rect kurtosis = %v, want 1.8", kurt)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewStream(5)
+	const n = 400000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+		sum4 += x * x * x * x
+	}
+	if math.Abs(sum/n) > 0.01 {
+		t.Errorf("Normal mean = %v", sum/n)
+	}
+	if math.Abs(sum2/n-1) > 0.02 {
+		t.Errorf("Normal variance = %v", sum2/n)
+	}
+	if math.Abs(sum3/n) > 0.03 {
+		t.Errorf("Normal skewness = %v", sum3/n)
+	}
+	if math.Abs(sum4/n-3) > 0.08 {
+		t.Errorf("Normal kurtosis = %v", sum4/n)
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	r := NewStream(6)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Gaussian(3, 0.5)
+		sum += x
+		sum2 += (x - 3) * (x - 3)
+	}
+	if math.Abs(sum/n-3) > 0.01 {
+		t.Errorf("Gaussian mean = %v", sum/n)
+	}
+	if math.Abs(sum2/n-0.25) > 0.01 {
+		t.Errorf("Gaussian variance = %v", sum2/n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewStream(7)
+	p := make([]int, 10)
+	f := func() bool {
+		r.Perm(p)
+		var seen [10]bool
+		for _, v := range p {
+			if v < 0 || v >= 10 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	for i := 0; i < 1000; i++ {
+		if !f() {
+			t.Fatalf("Perm produced a non-permutation: %v", p)
+		}
+	}
+}
+
+func TestPermUniform(t *testing.T) {
+	// Chi-square test over all 3! orderings of a 3-element shuffle.
+	r := NewStream(8)
+	p := make([]int, 3)
+	counts := map[[3]int]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		r.Perm(p)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 distinct permutations, got %d", len(counts))
+	}
+	expect := float64(n) / 6
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 5 dof, p=0.001 critical value is 20.5.
+	if chi2 > 20.5 {
+		t.Errorf("Perm not uniform: chi2 = %v", chi2)
+	}
+}
+
+func TestPerm5Table(t *testing.T) {
+	table := Perm5Table()
+	if len(table) != 120 {
+		t.Fatalf("table has %d entries, want 120", len(table))
+	}
+	seen := map[Perm5]bool{}
+	for _, p := range table {
+		if !p.Valid() {
+			t.Errorf("invalid table entry %v", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate table entry %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPerm5PackRoundTrip(t *testing.T) {
+	for _, p := range Perm5Table() {
+		if got := UnpackPerm5(p.Pack()); got != p {
+			t.Errorf("pack round trip: %v -> %v", p, got)
+		}
+	}
+}
+
+func TestUnpackInvalidFallsBackToIdentity(t *testing.T) {
+	// 0 packs to {0,0,0,0,0}, which is not a permutation.
+	if UnpackPerm5(0) != IdentityPerm5 {
+		t.Errorf("invalid packed value must decode to identity")
+	}
+}
+
+func TestPerm5Apply(t *testing.T) {
+	p := Perm5{4, 3, 2, 1, 0}
+	src := [5]float64{10, 20, 30, 40, 50}
+	var dst [5]float64
+	p.Apply(&dst, &src)
+	want := [5]float64{50, 40, 30, 20, 10}
+	if dst != want {
+		t.Errorf("Apply = %v, want %v", dst, want)
+	}
+}
+
+func TestTransposePreservesValidity(t *testing.T) {
+	f := func(j, k uint8) bool {
+		p := Perm5{2, 0, 4, 1, 3}
+		q := p.Transpose(int(j%5), int(k%5))
+		return q.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTranspositionMixing verifies the Aldous–Diaconis claim quoted in the
+// paper: repeated random top-transpositions converge to the uniform
+// distribution over S5. After many transpositions the chi-square statistic
+// over all 120 permutations should be consistent with uniformity.
+func TestTranspositionMixing(t *testing.T) {
+	r := NewStream(9)
+	counts := map[Perm5]int{}
+	const walkers = 6000
+	const steps = 40 // well beyond n log n ~ 10
+	for w := 0; w < walkers; w++ {
+		p := IdentityPerm5
+		for s := 0; s < steps; s++ {
+			p = p.RandomTransposition(&r)
+		}
+		counts[p]++
+	}
+	if len(counts) < 110 {
+		t.Fatalf("random walk visited only %d/120 permutations", len(counts))
+	}
+	expect := float64(walkers) / 120
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 119 dof, p=0.001 critical value ~ 173.
+	if chi2 > 173 {
+		t.Errorf("transposition walk not uniform: chi2 = %v", chi2)
+	}
+}
+
+func TestRandomPerm5FromTable(t *testing.T) {
+	table := Perm5Table()
+	r := NewStream(10)
+	for i := 0; i < 100; i++ {
+		if !RandomPerm5(table, &r).Valid() {
+			t.Fatalf("RandomPerm5 returned invalid permutation")
+		}
+	}
+}

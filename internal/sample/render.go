@@ -1,0 +1,205 @@
+package sample
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dsmc/internal/grid"
+)
+
+// Contour extraction and renderers: the paper's figures are density
+// contours (figs 1, 4) and density surfaces (figs 2, 3, 5, 6); here the
+// same data is produced as contour segments, ASCII maps, CSV grids and
+// PGM images.
+
+// Segment is one line segment of a contour.
+type Segment struct{ X1, Y1, X2, Y2 float64 }
+
+// Contour extracts level-set segments of the field with marching squares
+// over cell centres.
+func Contour(field []float64, g grid.Grid, level float64) []Segment {
+	var segs []Segment
+	at := func(ix, iy int) float64 { return field[g.Index(ix, iy)] }
+	interp := func(va, vb float64) float64 {
+		if vb == va {
+			return 0.5
+		}
+		return (level - va) / (vb - va)
+	}
+	for iy := 0; iy+1 < g.NY; iy++ {
+		for ix := 0; ix+1 < g.NX; ix++ {
+			v00, v10 := at(ix, iy), at(ix+1, iy)
+			v01, v11 := at(ix, iy+1), at(ix+1, iy+1)
+			var code int
+			if v00 >= level {
+				code |= 1
+			}
+			if v10 >= level {
+				code |= 2
+			}
+			if v11 >= level {
+				code |= 4
+			}
+			if v01 >= level {
+				code |= 8
+			}
+			if code == 0 || code == 15 {
+				continue
+			}
+			x0, y0 := float64(ix)+0.5, float64(iy)+0.5
+			// Edge midpoints with linear interpolation.
+			bottom := func() (float64, float64) { return x0 + interp(v00, v10), y0 }
+			top := func() (float64, float64) { return x0 + interp(v01, v11), y0 + 1 }
+			left := func() (float64, float64) { return x0, y0 + interp(v00, v01) }
+			right := func() (float64, float64) { return x0 + 1, y0 + interp(v10, v11) }
+			add := func(ax, ay, bx, by float64) {
+				segs = append(segs, Segment{ax, ay, bx, by})
+			}
+			switch code {
+			case 1, 14:
+				ax, ay := bottom()
+				bx, by := left()
+				add(ax, ay, bx, by)
+			case 2, 13:
+				ax, ay := bottom()
+				bx, by := right()
+				add(ax, ay, bx, by)
+			case 3, 12:
+				ax, ay := left()
+				bx, by := right()
+				add(ax, ay, bx, by)
+			case 4, 11:
+				ax, ay := top()
+				bx, by := right()
+				add(ax, ay, bx, by)
+			case 6, 9:
+				ax, ay := bottom()
+				bx, by := top()
+				add(ax, ay, bx, by)
+			case 7, 8:
+				ax, ay := top()
+				bx, by := left()
+				add(ax, ay, bx, by)
+			case 5: // saddle: two segments
+				ax, ay := bottom()
+				bx, by := left()
+				add(ax, ay, bx, by)
+				ax, ay = top()
+				bx, by = right()
+				add(ax, ay, bx, by)
+			case 10: // saddle
+				ax, ay := bottom()
+				bx, by := right()
+				add(ax, ay, bx, by)
+				ax, ay = top()
+				bx, by = left()
+				add(ax, ay, bx, by)
+			}
+		}
+	}
+	return segs
+}
+
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIMap renders the field as text, one character per cell, row NY-1 at
+// the top (flow left to right), scaled to [min, max].
+func ASCIIMap(field []float64, g grid.Grid, min, max float64) string {
+	var b strings.Builder
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	for iy := g.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.NX; ix++ {
+			v := (field[g.Index(ix, iy)] - min) / span
+			if v < 0 {
+				v = 0
+			}
+			if v > 0.999 {
+				v = 0.999
+			}
+			b.WriteByte(asciiRamp[int(v*float64(len(asciiRamp)))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV writes the field as an NY×NX comma-separated grid (row 0 first).
+func WriteCSV(w io.Writer, field []float64, g grid.Grid) error {
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			if ix > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%.6g", field[g.Index(ix, iy)]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePGM writes the field as a binary 8-bit PGM image scaled to
+// [min, max], row NY-1 at the top.
+func WritePGM(w io.Writer, field []float64, g grid.Grid, min, max float64) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.NX, g.NY); err != nil {
+		return err
+	}
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	row := make([]byte, g.NX)
+	for iy := g.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.NX; ix++ {
+			v := (field[g.Index(ix, iy)] - min) / span * 255
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[ix] = byte(v)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SurfaceASCII renders a perspective-free "density surface" view: for
+// each column the field value of each row is binned into height bands,
+// approximating the paper's surface plots in text form.
+func SurfaceASCII(field []float64, g grid.Grid, max float64, bands int) string {
+	if bands <= 0 {
+		bands = 8
+	}
+	var b strings.Builder
+	for iy := g.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.NX; ix++ {
+			v := field[g.Index(ix, iy)] / max
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			band := int(v * float64(bands))
+			if band >= bands {
+				band = bands - 1
+			}
+			b.WriteByte("0123456789abcdef"[band%16])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

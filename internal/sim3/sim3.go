@@ -1,0 +1,356 @@
+// Package sim3 extends the particle simulation to three dimensions — the
+// first item of the paper's future-work list. The geometry is a shock
+// tube: a box of gas at rest with a piston (the 3D analogue of the
+// paper's plunger) driving in from the low-x end at constant speed. A
+// normal shock detaches from the piston and runs ahead of it; its speed
+// and the density rise behind it are classical Rankine–Hugoniot results,
+// giving the 3D code an exact validation target just as the oblique shock
+// validates the 2D code.
+package sim3
+
+import (
+	"errors"
+	"math"
+
+	"dsmc/internal/collide"
+	"dsmc/internal/molec"
+	"dsmc/internal/phys"
+	"dsmc/internal/rng"
+)
+
+// Grid3 is an NX×NY×NZ arrangement of unit cube cells.
+type Grid3 struct {
+	NX, NY, NZ int
+}
+
+// Cells returns the total cell count.
+func (g Grid3) Cells() int { return g.NX * g.NY * g.NZ }
+
+// Index returns the distinct index of cell (ix, iy, iz).
+func (g Grid3) Index(ix, iy, iz int) int { return (iz*g.NY+iy)*g.NX + ix }
+
+// CellOf returns the cell containing a position, clamping edge
+// coordinates inward.
+func (g Grid3) CellOf(x, y, z float64) int {
+	clamp := func(v float64, n int) int {
+		i := int(math.Floor(v))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return g.Index(clamp(x, g.NX), clamp(y, g.NY), clamp(z, g.NZ))
+}
+
+// Config specifies the 3D shock-tube simulation.
+type Config struct {
+	// NX, NY, NZ are the box dimensions in cells. NX should be long
+	// (shock propagation direction); NY, NZ can be slender.
+	NX, NY, NZ int
+	// Cm is the most probable thermal speed of the quiescent gas,
+	// cells/step.
+	Cm float64
+	// Lambda is the mean free path of the quiescent gas in cells
+	// (0 = collide-all).
+	Lambda float64
+	// PistonSpeed is the piston velocity in +x, cells/step.
+	PistonSpeed float64
+	// NPerCell is the initial particle density.
+	NPerCell float64
+	// Model is the molecular model (default Maxwell, diatomic).
+	Model molec.Model
+	// Seed seeds the randomness.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.NX <= 0 || c.NY <= 0 || c.NZ <= 0 {
+		return errors.New("sim3: box dimensions must be positive")
+	}
+	if c.Cm <= 0 || c.NPerCell <= 0 {
+		return errors.New("sim3: thermal speed and density must be positive")
+	}
+	if c.PistonSpeed < 0 {
+		return errors.New("sim3: piston must not retreat")
+	}
+	return nil
+}
+
+// Theory returns the exact piston-shock solution: the shock Mach number
+// Ms satisfies up/a1 = (2/(γ+1))·(Ms − 1/Ms); the shock speed is Ms·a1
+// and the density ratio follows Rankine–Hugoniot at Ms.
+func (c *Config) Theory() (shockSpeed, densityRatio float64) {
+	gamma := c.model().Gamma()
+	a1 := c.Cm * math.Sqrt(gamma/2)
+	up := c.PistonSpeed
+	// Solve Ms − 1/Ms = up(γ+1)/(2a1); quadratic in Ms.
+	k := up * (gamma + 1) / (2 * a1)
+	ms := (k + math.Sqrt(k*k+4)) / 2
+	return ms * a1, phys.RHDensityRatio(ms, gamma)
+}
+
+func (c *Config) model() molec.Model {
+	if c.Model.Name == "" {
+		return molec.Maxwell()
+	}
+	return c.Model
+}
+
+// Sim is a running 3D shock-tube simulation.
+type Sim struct {
+	cfg  Config
+	grid Grid3
+
+	x, y, z []float64
+	vel     []collide.State5
+	cell    []int32
+
+	rule    collide.Rule
+	table   []rng.Perm5
+	r       rng.Stream
+	pistonX float64
+	stepN   int
+
+	counts    []int32
+	cellStart []int32
+	order     []int32
+	collided  int64
+}
+
+// New builds and fills the shock tube with gas at rest.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.model()
+	g := Grid3{cfg.NX, cfg.NY, cfg.NZ}
+	n := int(cfg.NPerCell * float64(g.Cells()))
+	free := phys.Freestream{Mach: 2, Cm: cfg.Cm, Lambda: cfg.Lambda, Gamma: model.Gamma()}
+	s := &Sim{
+		cfg:  cfg,
+		grid: g,
+		x:    make([]float64, n), y: make([]float64, n), z: make([]float64, n),
+		vel:  make([]collide.State5, n),
+		cell: make([]int32, n),
+		rule: collide.Rule{
+			Model:      model,
+			PInf:       free.SelectionPInf(),
+			NInf:       cfg.NPerCell,
+			GInf:       math.Sqrt2 * free.MeanSpeed(),
+			CollideAll: cfg.Lambda <= 0,
+		},
+		table:     rng.Perm5Table(),
+		r:         rng.NewStream(cfg.Seed),
+		counts:    make([]int32, g.Cells()),
+		cellStart: make([]int32, g.Cells()+1),
+		order:     make([]int32, n),
+	}
+	sigma := free.ComponentSigma()
+	for i := range s.x {
+		s.x[i] = s.r.Float64() * float64(cfg.NX)
+		s.y[i] = s.r.Float64() * float64(cfg.NY)
+		s.z[i] = s.r.Float64() * float64(cfg.NZ)
+		for k := 0; k < 5; k++ {
+			s.vel[i][k] = s.r.Gaussian(0, sigma)
+		}
+	}
+	return s, nil
+}
+
+// N returns the particle count.
+func (s *Sim) N() int { return len(s.x) }
+
+// PistonX returns the piston position.
+func (s *Sim) PistonX() float64 { return s.pistonX }
+
+// StepCount returns completed steps.
+func (s *Sim) StepCount() int { return s.stepN }
+
+// Collisions returns the cumulative collision count.
+func (s *Sim) Collisions() int64 { return s.collided }
+
+// Step advances one time step: 3D motion, boundaries (piston + five
+// specular walls), 3D cell sort, selection and collision.
+func (s *Sim) Step() {
+	s.move()
+	s.sortByCell()
+	s.selectAndCollide()
+	s.stepN++
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+func (s *Sim) move() {
+	w := float64(s.cfg.NX)
+	h := float64(s.cfg.NY)
+	d := float64(s.cfg.NZ)
+	s.pistonX += s.cfg.PistonSpeed
+	up2 := 2 * s.cfg.PistonSpeed
+	for i := range s.x {
+		s.x[i] += s.vel[i][0]
+		s.y[i] += s.vel[i][1]
+		s.z[i] += s.vel[i][2]
+		// Piston face (specular in the piston frame) and far wall.
+		if s.x[i] < s.pistonX {
+			s.x[i] = 2*s.pistonX - s.x[i]
+			s.vel[i][0] = up2 - s.vel[i][0]
+		}
+		if s.x[i] > w {
+			s.x[i] = 2*w - s.x[i]
+			if s.vel[i][0] > 0 {
+				s.vel[i][0] = -s.vel[i][0]
+			}
+		}
+		// Side walls.
+		if s.y[i] < 0 {
+			s.y[i] = -s.y[i]
+			s.vel[i][1] = -s.vel[i][1]
+		}
+		if s.y[i] > h {
+			s.y[i] = 2*h - s.y[i]
+			s.vel[i][1] = -s.vel[i][1]
+		}
+		if s.z[i] < 0 {
+			s.z[i] = -s.z[i]
+			s.vel[i][2] = -s.vel[i][2]
+		}
+		if s.z[i] > d {
+			s.z[i] = 2*d - s.z[i]
+			s.vel[i][2] = -s.vel[i][2]
+		}
+	}
+}
+
+func (s *Sim) sortByCell() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	for i := range s.x {
+		c := int32(s.grid.CellOf(s.x[i], s.y[i], s.z[i]))
+		s.cell[i] = c
+		s.counts[c]++
+	}
+	s.cellStart[0] = 0
+	for c := 0; c < len(s.counts); c++ {
+		s.cellStart[c+1] = s.cellStart[c] + s.counts[c]
+	}
+	fill := make([]int32, len(s.counts))
+	copy(fill, s.cellStart[:len(s.counts)])
+	for i := range s.x {
+		c := s.cell[i]
+		s.order[fill[c]] = int32(i)
+		fill[c]++
+	}
+	// Random order within each cell.
+	for c := 0; c < len(s.counts); c++ {
+		span := s.order[s.cellStart[c]:s.cellStart[c+1]]
+		for i := len(span) - 1; i > 0; i-- {
+			j := s.r.Intn(i + 1)
+			span[i], span[j] = span[j], span[i]
+		}
+	}
+}
+
+func (s *Sim) selectAndCollide() {
+	for c := 0; c < len(s.counts); c++ {
+		lo, hi := s.cellStart[c], s.cellStart[c+1]
+		cnt := int(hi - lo)
+		if cnt < 2 {
+			continue
+		}
+		for k := int32(0); k+1 < int32(cnt); k += 2 {
+			ia, ib := int(s.order[lo+k]), int(s.order[lo+k+1])
+			g := collide.TransRelSpeed(&s.vel[ia], &s.vel[ib])
+			p := s.rule.Prob(cnt, 1, g)
+			if p == 1 || s.r.Float64() < p {
+				perm := rng.RandomPerm5(s.table, &s.r)
+				collide.Collide(&s.vel[ia], &s.vel[ib], perm, s.r.Uint32())
+				s.collided++
+			}
+		}
+	}
+}
+
+// DensityProfile returns the particle density along x (averaged over the
+// cross-section), normalised by the initial density.
+func (s *Sim) DensityProfile() []float64 {
+	prof := make([]float64, s.cfg.NX)
+	for i := range s.x {
+		ix := int(s.x[i])
+		if ix < 0 {
+			ix = 0
+		}
+		if ix >= s.cfg.NX {
+			ix = s.cfg.NX - 1
+		}
+		prof[ix]++
+	}
+	slab := s.cfg.NPerCell * float64(s.cfg.NY*s.cfg.NZ)
+	for i := range prof {
+		prof[i] /= slab
+	}
+	return prof
+}
+
+// ShockPosition locates the shock front: the x where the density profile
+// falls through the half-rise level between the post-shock plateau and
+// the quiescent gas, scanning downstream from the piston. Returns NaN if
+// no front is found.
+func (s *Sim) ShockPosition() float64 {
+	prof := s.DensityProfile()
+	_, ratio := s.cfg.Theory()
+	level := (1 + ratio) / 2
+	start := int(s.pistonX)
+	if start < 0 {
+		start = 0
+	}
+	for ix := start; ix+1 < len(prof); ix++ {
+		if prof[ix] >= level && prof[ix+1] < level {
+			t := (prof[ix] - level) / (prof[ix] - prof[ix+1])
+			return float64(ix) + 0.5 + t
+		}
+	}
+	return math.NaN()
+}
+
+// PostShockDensity averages the density between the piston and the shock
+// (excluding two cells of cushion at each end); NaN when the region is
+// too thin.
+func (s *Sim) PostShockDensity() float64 {
+	shock := s.ShockPosition()
+	if math.IsNaN(shock) {
+		return math.NaN()
+	}
+	lo := int(s.pistonX) + 2
+	hi := int(shock) - 2
+	if hi <= lo {
+		return math.NaN()
+	}
+	prof := s.DensityProfile()
+	var sum float64
+	for ix := lo; ix < hi; ix++ {
+		sum += prof[ix]
+	}
+	return sum / float64(hi-lo)
+}
+
+// TotalEnergyAndMomentum returns the conservation diagnostics (the piston
+// does work, so energy grows; y/z momentum must stay near zero).
+func (s *Sim) TotalEnergyAndMomentum() (energy, py, pz float64) {
+	for i := range s.vel {
+		v := &s.vel[i]
+		energy += v[0]*v[0] + v[1]*v[1] + v[2]*v[2] + v[3]*v[3] + v[4]*v[4]
+		py += v[1]
+		pz += v[2]
+	}
+	return energy, py, pz
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dsmc/internal/rng"
+)
+
+func gaussianSample(n int, mean, sigma float64, seed uint64) []float64 {
+	r := rng.NewStream(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Gaussian(mean, sigma)
+	}
+	return xs
+}
+
+func TestMeasureMoments(t *testing.T) {
+	xs := gaussianSample(200000, 2, 0.5, 1)
+	m := Measure(xs)
+	if math.Abs(m.Mean-2) > 0.01 {
+		t.Errorf("mean %v", m.Mean)
+	}
+	if math.Abs(m.Variance-0.25) > 0.005 {
+		t.Errorf("variance %v", m.Variance)
+	}
+	if math.Abs(m.Skewness) > 0.02 {
+		t.Errorf("skewness %v", m.Skewness)
+	}
+	if math.Abs(m.Kurtosis-3) > 0.05 {
+		t.Errorf("kurtosis %v", m.Kurtosis)
+	}
+}
+
+func TestMeasureEmptyAndConstant(t *testing.T) {
+	if m := Measure(nil); m.N != 0 || m.Mean != 0 {
+		t.Errorf("empty sample: %+v", m)
+	}
+	m := Measure([]float64{3, 3, 3})
+	if m.Variance != 0 || m.Kurtosis != 0 {
+		t.Errorf("constant sample must have zero variance and defined kurtosis: %+v", m)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram([]float64{-10, 0.1, 0.1, 0.9, 10}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Errorf("counts %v (outliers clamp to edge bins)", h.Counts)
+	}
+	if h.Total != 5 {
+		t.Errorf("total %d", h.Total)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.25) > 1e-12 {
+		t.Errorf("bin centre %v", c)
+	}
+	if _, err := NewHistogram(nil, 1, 0, 4); err == nil {
+		t.Errorf("inverted range must error")
+	}
+}
+
+func TestChiSquareAcceptsMatchingDistribution(t *testing.T) {
+	xs := gaussianSample(50000, 0, 1, 1)
+	h, _ := NewHistogram(xs, -4, 4, 40)
+	chi2, dof := h.ChiSquare(GaussianCDF(0, 1))
+	// Accept generously (1.5× the p=0.001 critical value): the test guards
+	// against gross mismatch, not generator-quality subtleties.
+	if chi2 > 1.5*ChiSquareCritical999(dof) {
+		t.Errorf("chi2 %v exceeds p=0.001 critical %v (dof %d)", chi2, ChiSquareCritical999(dof), dof)
+	}
+}
+
+func TestChiSquareRejectsWrongDistribution(t *testing.T) {
+	r := rng.NewStream(3)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Rect(1) // rectangular, not Gaussian
+	}
+	h, _ := NewHistogram(xs, -4, 4, 40)
+	chi2, dof := h.ChiSquare(GaussianCDF(0, 1))
+	if chi2 < 5*ChiSquareCritical999(dof) {
+		t.Errorf("chi2 %v should grossly exceed the critical value", chi2)
+	}
+}
+
+func TestChiSquareCritical999(t *testing.T) {
+	// Known values: dof=10 → 29.59, dof=30 → 59.70.
+	if got := ChiSquareCritical999(10); math.Abs(got-29.59) > 0.5 {
+		t.Errorf("critical(10) = %v", got)
+	}
+	if got := ChiSquareCritical999(30); math.Abs(got-59.70) > 0.8 {
+		t.Errorf("critical(30) = %v", got)
+	}
+	if ChiSquareCritical999(0) != 0 {
+		t.Errorf("dof 0")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{0: 0.5, 1.96: 0.975, -1.96: 0.025}
+	for x, want := range cases {
+		if got := NormalCDF(x); math.Abs(got-want) > 1e-3 {
+			t.Errorf("Phi(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMaxwellSpeedCDF(t *testing.T) {
+	cdf := MaxwellSpeedCDF(1)
+	if cdf(0) != 0 {
+		t.Errorf("F(0) must be 0")
+	}
+	if got := cdf(10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("F(inf) = %v", got)
+	}
+	// Median of the Maxwell speed distribution is ≈ 1.0876·cm.
+	if got := cdf(1.0876); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("F(median) = %v", got)
+	}
+	// Monotone.
+	prev := -1.0
+	for c := 0.0; c < 5; c += 0.1 {
+		if v := cdf(c); v < prev {
+			t.Fatalf("cdf not monotone at %v", c)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestKolmogorovSmirnovAccepts(t *testing.T) {
+	xs := gaussianSample(20000, 0, 1, 4)
+	d := KolmogorovSmirnov(xs, GaussianCDF(0, 1))
+	if d > KSCritical999(len(xs)) {
+		t.Errorf("KS %v exceeds critical %v", d, KSCritical999(len(xs)))
+	}
+}
+
+func TestKolmogorovSmirnovRejects(t *testing.T) {
+	xs := gaussianSample(20000, 0.3, 1, 5) // shifted mean
+	d := KolmogorovSmirnov(xs, GaussianCDF(0, 1))
+	if d < 2*KSCritical999(len(xs)) {
+		t.Errorf("KS %v should reject the shifted sample", d)
+	}
+}
+
+func TestKSAgainstMaxwellSpeeds(t *testing.T) {
+	// Speeds of 3D Gaussian velocities follow the Maxwell distribution.
+	r := rng.NewStream(6)
+	const cm = 0.8
+	sigma := cm / math.Sqrt2
+	xs := make([]float64, 30000)
+	for i := range xs {
+		u, v, w := r.Gaussian(0, sigma), r.Gaussian(0, sigma), r.Gaussian(0, sigma)
+		xs[i] = math.Sqrt(u*u + v*v + w*w)
+	}
+	d := KolmogorovSmirnov(xs, MaxwellSpeedCDF(cm))
+	if d > KSCritical999(len(xs)) {
+		t.Errorf("Maxwell speed KS %v exceeds critical %v", d, KSCritical999(len(xs)))
+	}
+}
+
+func TestRectCDF(t *testing.T) {
+	cdf := RectCDF(1)
+	half := math.Sqrt(3)
+	if cdf(-half-1) != 0 || cdf(half+1) != 1 {
+		t.Errorf("tails wrong")
+	}
+	if math.Abs(cdf(0)-0.5) > 1e-12 {
+		t.Errorf("median wrong")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A deterministic alternating series has lag-1 autocorrelation −1.
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(xs, 1); math.Abs(got+1) > 0.01 {
+		t.Errorf("lag-1 of alternating series = %v", got)
+	}
+	// White noise decorrelates.
+	noise := gaussianSample(50000, 0, 1, 7)
+	if got := Autocorrelation(noise, 3); math.Abs(got) > 0.02 {
+		t.Errorf("noise lag-3 = %v", got)
+	}
+	if Autocorrelation(xs, 100) != 0 || Autocorrelation(xs, -1) != 0 {
+		t.Errorf("out-of-range lags must return 0")
+	}
+}
+
+func TestPairCorrelation(t *testing.T) {
+	xs := gaussianSample(20000, 0, 1, 8)
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	if got := PairCorrelation(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical series correlation = %v", got)
+	}
+	ys = gaussianSample(20000, 0, 1, 9)
+	if got := PairCorrelation(xs, ys); math.Abs(got) > 0.03 {
+		t.Errorf("independent series correlation = %v", got)
+	}
+	if PairCorrelation(xs, ys[:5]) != 0 {
+		t.Errorf("mismatched lengths must return 0")
+	}
+}
