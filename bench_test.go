@@ -14,6 +14,7 @@ import (
 	"dsmc/internal/cmsim"
 	"dsmc/internal/collide"
 	"dsmc/internal/molec"
+	"dsmc/internal/par"
 	"dsmc/internal/particle"
 	"dsmc/internal/rng"
 	"dsmc/internal/sim"
@@ -135,10 +136,74 @@ func BenchmarkTimingBreakdown(b *testing.B) {
 	}
 }
 
-// BenchmarkCraySurrogate times the sequential float64 implementation (the
-// role of the paper's 0.5 µs/particle/step Cray-2 code).
+// BenchmarkStepWorkerSweep measures the reference backend's multicore
+// scaling on the paper-scale configuration (98×64 grid, 75 particles per
+// cell ≈ 460k flow particles): one sub-benchmark per worker count, so the
+// parallel speedup is measured rather than asserted. The determinism
+// tests guarantee every sub-benchmark computes the identical trajectory.
+func BenchmarkStepWorkerSweep(b *testing.B) {
+	for _, w := range par.SweepWorkers() {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			cfg := benchConfig(0.5, 75)
+			cfg.Workers = w
+			s, err := NewSimulation(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Run(5) // past the initial transient
+			stepBench(b, s)
+		})
+	}
+}
+
+// BenchmarkStepWorkerSweepReduced is the same sweep at laptop density
+// (8 per cell), exposing how sharding overhead amortizes with load.
+func BenchmarkStepWorkerSweepReduced(b *testing.B) {
+	for _, w := range par.SweepWorkers() {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			cfg := benchConfig(0.5, 8)
+			cfg.Workers = w
+			s, err := NewSimulation(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Run(20)
+			stepBench(b, s)
+		})
+	}
+}
+
+// BenchmarkShockTube3DWorkerSweep sweeps the worker count of the 3D
+// extension's piston-driven shock at a paper-comparable particle count.
+func BenchmarkShockTube3DWorkerSweep(b *testing.B) {
+	for _, w := range par.SweepWorkers() {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			s, err := sim3.New(sim3.Config{
+				NX: 160, NY: 16, NZ: 16,
+				Cm: 0.125, PistonSpeed: 0.131, NPerCell: 12, Seed: 3,
+				Workers: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Run(10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(s.N()), "ns/particle/step")
+		})
+	}
+}
+
+// BenchmarkCraySurrogate times the float64 implementation pinned to one
+// worker (the role of the paper's 0.5 µs/particle/step single-processor
+// Cray-2 code; BenchmarkStepWorkerSweep measures the multicore version).
 func BenchmarkCraySurrogate(b *testing.B) {
-	s, err := NewSimulation(benchConfig(0.5, 8))
+	cfg := benchConfig(0.5, 8)
+	cfg.Workers = 1
+	s, err := NewSimulation(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

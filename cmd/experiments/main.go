@@ -12,6 +12,7 @@
 //	fig7   per-particle time vs total particles (fixed machine)
 //	phases distribution of computational time over the four sub-steps
 //	compare  CM backend vs sequential reference per-particle time
+//	scaling  reference-backend worker sweep (1/2/4/N cores)
 //
 // Run all with defaults (a few minutes):
 //
@@ -26,10 +27,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dsmc"
 	"dsmc/internal/cm"
 	"dsmc/internal/cmsim"
+	"dsmc/internal/par"
 	"dsmc/internal/report"
 	"dsmc/internal/sim"
 )
@@ -39,6 +42,7 @@ type harness struct {
 	steps   int
 	avg     int
 	procs   int
+	workers int
 	seed    uint64
 	outDir  string
 }
@@ -47,11 +51,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var h harness
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare|scaling")
 	flag.Float64Var(&h.perCell, "percell", 8, "particles per cell (75 = paper scale)")
 	flag.IntVar(&h.steps, "steps", 600, "steps to steady state (paper: 1200)")
 	flag.IntVar(&h.avg, "avg", 300, "averaging steps (paper: 2000)")
 	flag.IntVar(&h.procs, "procs", 32768, "physical processors for the CM backend (paper: 32k)")
+	flag.IntVar(&h.workers, "workers", 0, "reference-backend CPU workers (0 = NumCPU)")
 	flag.Uint64Var(&h.seed, "seed", 1988, "random seed")
 	flag.StringVar(&h.outDir, "out", "results", "output directory")
 	flag.Parse()
@@ -65,13 +70,14 @@ func main() {
 		"fig7":    h.fig7,
 		"phases":  h.phases,
 		"compare": h.compare,
+		"scaling": h.scaling,
 	}
 	// figs 2/3 and 5/6 are produced by the same runs as 1 and 4.
 	run["fig2"], run["fig3"] = run["fig1"], run["fig1"]
 	run["fig5"], run["fig6"] = run["fig4"], run["fig4"]
 
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig4", "fig7", "phases", "compare"} {
+		for _, name := range []string{"fig1", "fig4", "fig7", "phases", "compare", "scaling"} {
 			fmt.Printf("=== %s ===\n", name)
 			if err := run[name](); err != nil {
 				log.Fatal(err)
@@ -101,6 +107,7 @@ func (h *harness) contourFigs(lambda float64) error {
 	cfg.ParticlesPerCell = h.perCell
 	cfg.MeanFreePath = lambda
 	cfg.Seed = h.seed
+	cfg.Workers = h.workers
 	s, err := dsmc.NewSimulation(cfg)
 	if err != nil {
 		return err
@@ -255,6 +262,10 @@ func (h *harness) compare() error {
 	// particles on the 32k-processor machine (VP ratio 16).
 	cfg.ParticlesPerCell = 75
 	cfg.Seed = h.seed
+	// The reference plays the paper's single-processor Cray-2 role here,
+	// so it is pinned to one worker regardless of -workers (the multicore
+	// reference is the scaling experiment's subject).
+	cfg.Workers = 1
 
 	ref, err := dsmc.NewSimulation(cfg)
 	if err != nil {
@@ -285,4 +296,48 @@ func (h *harness) compare() error {
 	t.AddRow(fmt.Sprintf("CM cost model (%d procs; paper 32k)", h.procs), cmModelUs, 7.2)
 	t.AddRow("model/reference ratio", cmModelUs/math.Max(refUs, 1e-9), 7.2/0.5)
 	return t.Render(os.Stdout)
+}
+
+// scaling sweeps the reference backend's worker count (1, 2, 4, all
+// cores) on the wedge flow and reports wall-clock per-particle time and
+// the speedup over one worker. Every run computes the identical
+// trajectory (counter-based per-cell streams), so the sweep isolates the
+// sharding from any statistical variation.
+func (h *harness) scaling() error {
+	steps := 40
+	ws := par.SweepWorkers()
+	table := report.NewTable(
+		fmt.Sprintf("Reference backend multicore scaling (%g particles/cell, %d steps)", h.perCell, steps),
+		"workers", "us/particle/step", "speedup")
+	var base float64
+	var xs, ys []float64
+	for _, w := range ws {
+		cfg := dsmc.PaperConfig()
+		cfg.ParticlesPerCell = h.perCell
+		cfg.Seed = h.seed
+		cfg.Workers = w
+		s, err := dsmc.NewSimulation(cfg)
+		if err != nil {
+			return err
+		}
+		s.Run(5) // warm-up past the initial transient
+		t0 := time.Now()
+		s.Run(steps)
+		us := time.Since(t0).Seconds() * 1e6 / float64(s.NFlow()) / float64(steps)
+		if w == 1 {
+			base = us
+		}
+		table.AddRow(w, us, base/us)
+		xs = append(xs, float64(w))
+		ys = append(ys, us)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(h.outDir, "scaling.txt"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return report.Series(out, "Reference backend scaling", "workers", "us/particle/step", xs, ys)
 }

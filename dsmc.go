@@ -100,6 +100,12 @@ type Config struct {
 	// PhysProcs is the physical processor count of the ConnectionMachine
 	// backend (default 1024; the paper's machine had 32k).
 	PhysProcs int
+	// Workers is the CPU worker count the Reference backend shards its
+	// phases over (move/boundary over particle chunks, sort, select,
+	// collide and sampling over cell ranges); 0 selects runtime.NumCPU().
+	// Results are bit-identical for any worker count: randomness comes
+	// from counter-based per-cell streams, not a shared sequential one.
+	Workers int
 	// Seed seeds all randomness; runs with equal seeds are reproducible.
 	Seed uint64
 }
@@ -158,6 +164,7 @@ func (c Config) internalConfig() (sim.Config, error) {
 		NPerCell:       c.ParticlesPerCell,
 		PlungerTrigger: 4,
 		Seed:           c.Seed,
+		Workers:        c.Workers,
 	}
 	return ic, ic.Validate()
 }
@@ -237,7 +244,8 @@ func (s *Simulation) SampleDensity(steps int) *Field {
 	for k := 0; k < steps; k++ {
 		s.Step()
 		if s.ref != nil {
-			acc.AddFlow(s.ref.Store())
+			// Sharded over cell ranges on the backend's worker pool.
+			s.ref.SampleInto(acc)
 		} else {
 			acc.AddCounts(s.cm.CellCounts())
 		}

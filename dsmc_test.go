@@ -213,3 +213,33 @@ func TestPublicAPIShockValidation(t *testing.T) {
 		t.Errorf("wake contrast unavailable")
 	}
 }
+
+// TestPublicWorkersDeterminism: through the public API, the same seed at
+// Workers=1 and Workers=8 must produce identical trajectories and a
+// bit-identical sampled density field on the Reference backend.
+func TestPublicWorkersDeterminism(t *testing.T) {
+	run := func(workers int) (*Simulation, *Field) {
+		cfg := testConfig()
+		cfg.Workers = workers
+		s, err := NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(15)
+		return s, s.SampleDensity(5)
+	}
+	s1, f1 := run(1)
+	s8, f8 := run(8)
+	if s1.Collisions() != s8.Collisions() {
+		t.Fatalf("collisions: %d vs %d", s1.Collisions(), s8.Collisions())
+	}
+	if s1.NFlow() != s8.NFlow() || s1.NReservoir() != s8.NReservoir() {
+		t.Fatalf("population: flow %d/%d, reservoir %d/%d",
+			s1.NFlow(), s8.NFlow(), s1.NReservoir(), s8.NReservoir())
+	}
+	for i := range f1.Data {
+		if math.Float64bits(f1.Data[i]) != math.Float64bits(f8.Data[i]) {
+			t.Fatalf("density field diverged at cell %d: %v vs %v", i, f1.Data[i], f8.Data[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module dsmc
+
+go 1.24

@@ -23,8 +23,9 @@ package cm
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
+
+	"dsmc/internal/par"
 )
 
 // Field is a per-virtual-processor array of 32-bit words, the only
@@ -37,7 +38,8 @@ type Field []int32
 type Machine struct {
 	numPhys int
 	vps     int
-	workers int
+	workers int // == pool.Workers(), cached for the scans' carry logic
+	pool    *par.Pool
 
 	cost  CostBook
 	phase string
@@ -70,6 +72,7 @@ func New(numPhys, vps int) *Machine {
 		numPhys:   numPhys,
 		vps:       vps,
 		workers:   w,
+		pool:      par.New(w),
 		cost:      NewCostBook(),
 		phase:     "default",
 		wallStart: map[string]time.Time{},
@@ -134,61 +137,20 @@ func (m *Machine) ResetCost() {
 // blockStep returns the span width of the fixed block decomposition used
 // by every parallel operation: w blocks of equal width (the last possibly
 // short or empty). Serial carry passes in the scans rely on this exact
-// decomposition, so every execution path must use it.
-func (m *Machine) blockStep(n int) int {
-	s := (n + m.workers - 1) / m.workers
-	if s < 1 {
-		s = 1
-	}
-	return s
-}
+// decomposition, so every execution path must use it — it is the pool's
+// decomposition, shared with the reference backends via internal/par.
+func (m *Machine) blockStep(n int) int { return m.pool.BlockStep(n) }
 
 // parForIdx runs f once per block b with its span [lo, hi); empty blocks
 // get lo == hi == n. Execution is parallel for large n, serial otherwise,
 // but the decomposition is identical either way.
 func (m *Machine) parForIdx(n int, f func(b, lo, hi int)) {
-	w := m.workers
-	step := m.blockStep(n)
-	if w == 1 || n < 4096 {
-		for b := 0; b < w; b++ {
-			lo := b * step
-			hi := lo + step
-			if lo > n {
-				lo = n
-			}
-			if hi > n {
-				hi = n
-			}
-			f(b, lo, hi)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for b := 0; b < w; b++ {
-		go func(b int) {
-			defer wg.Done()
-			lo := b * step
-			hi := lo + step
-			if lo > n {
-				lo = n
-			}
-			if hi > n {
-				hi = n
-			}
-			f(b, lo, hi)
-		}(b)
-	}
-	wg.Wait()
+	m.pool.ForIdx(n, f)
 }
 
 // parFor runs f over [0, n) split into the fixed block decomposition.
 func (m *Machine) parFor(n int, f func(lo, hi int)) {
-	m.parForIdx(n, func(_, lo, hi int) {
-		if lo < hi {
-			f(lo, hi)
-		}
-	})
+	m.pool.For(n, f)
 }
 
 // checkLen panics if a field does not belong to this machine geometry.

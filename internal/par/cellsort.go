@@ -1,0 +1,98 @@
+package par
+
+import "dsmc/internal/rng"
+
+// CellSort is the sharded stable counting sort shared by the reference
+// backends: per-worker histograms over contiguous element blocks, a
+// serial merge that assigns every worker its scatter base inside each
+// cell, and a stable sharded scatter. The resulting order is the serial
+// counting sort's (ascending element index within each cell) for any
+// worker count — the invariant the deterministic collide phase relies on.
+type CellSort struct {
+	pool      *Pool
+	counts    []int32
+	cellStart []int32
+	wcounts   [][]int32
+	wfill     [][]int32
+}
+
+// NewCellSort returns a sorter over the given cell count, sharded on pool.
+func NewCellSort(pool *Pool, cells int) *CellSort {
+	cs := &CellSort{
+		pool:      pool,
+		counts:    make([]int32, cells),
+		cellStart: make([]int32, cells+1),
+		wcounts:   make([][]int32, pool.Workers()),
+		wfill:     make([][]int32, pool.Workers()),
+	}
+	for w := range cs.wcounts {
+		cs.wcounts[w] = make([]int32, cells)
+		cs.wfill[w] = make([]int32, cells)
+	}
+	return cs
+}
+
+// Counts returns the per-cell element counts of the latest Sort.
+func (cs *CellSort) Counts() []int32 { return cs.counts }
+
+// CellStart returns the bucket boundaries of the latest Sort: cell c's
+// elements are order[CellStart()[c]:CellStart()[c+1]].
+func (cs *CellSort) CellStart() []int32 { return cs.cellStart }
+
+// Sort computes cell[i] = cellOf(i) for every i in [0, n), then fills
+// order[:n] with the stable cell-bucketed permutation.
+func (cs *CellSort) Sort(n int, cell, order []int32, cellOf func(i int) int32) {
+	cs.pool.ForIdx(n, func(w, lo, hi int) {
+		cw := cs.wcounts[w]
+		for c := range cw {
+			cw[c] = 0
+		}
+		for i := lo; i < hi; i++ {
+			c := cellOf(i)
+			cell[i] = c
+			cw[c]++
+		}
+	})
+	// Merge into global counts/starts and give every worker its scatter
+	// base inside each cell: cell c holds worker 0's elements first, then
+	// worker 1's, ... — exactly the stable order of the serial sort.
+	cs.cellStart[0] = 0
+	for c := range cs.counts {
+		var t int32
+		for w := range cs.wcounts {
+			cs.wfill[w][c] = cs.cellStart[c] + t
+			t += cs.wcounts[w][c]
+		}
+		cs.counts[c] = t
+		cs.cellStart[c+1] = cs.cellStart[c] + t
+	}
+	cs.pool.ForIdx(n, func(w, lo, hi int) {
+		fill := cs.wfill[w]
+		for i := lo; i < hi; i++ {
+			c := cell[i]
+			order[fill[c]] = int32(i)
+			fill[c]++
+		}
+	})
+}
+
+// Shuffle randomizes the order within each cell — collision candidates
+// must change between time steps or the same partners collide repeatedly,
+// leading to correlated velocity distributions — drawing each cell's
+// permutation from its own counter-based stream (seed, epoch, cell),
+// sharded over cell ranges.
+func (cs *CellSort) Shuffle(order []int32, seed, epoch uint64) {
+	cs.pool.For(len(cs.counts), func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			span := order[cs.cellStart[c]:cs.cellStart[c+1]]
+			if len(span) < 2 {
+				continue
+			}
+			r := rng.StreamAt(seed, epoch, uint64(c))
+			for i := len(span) - 1; i > 0; i-- {
+				j := r.Intn(i + 1)
+				span[i], span[j] = span[j], span[i]
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 7, serialCutoff - 1, serialCutoff, 3*serialCutoff + 5} {
+			marks := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestForIdxFixedDecomposition(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 10, 4096, 10001} {
+		type span struct{ lo, hi int }
+		got := make([]span, p.Workers())
+		calls := int32(0)
+		p.ForIdx(n, func(w, lo, hi int) {
+			atomic.AddInt32(&calls, 1)
+			got[w] = span{lo, hi}
+		})
+		if int(calls) != p.Workers() {
+			t.Fatalf("n=%d: %d calls, want one per worker (%d)", n, calls, p.Workers())
+		}
+		// Blocks are contiguous, ascending, and cover [0, n) exactly.
+		prev := 0
+		for w, sp := range got {
+			if sp.lo != prev || sp.hi < sp.lo {
+				t.Fatalf("n=%d worker %d: span [%d,%d) does not continue from %d", n, w, sp.lo, sp.hi, prev)
+			}
+			prev = sp.hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d: decomposition ends at %d", n, prev)
+		}
+	}
+}
+
+func TestNewDefaultsToNumCPU(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := New(-3).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+// TestParallelPathRuns forces the concurrent path (n above the serial
+// cutoff) and checks a reduction computed from per-worker partials.
+func TestParallelPathRuns(t *testing.T) {
+	p := New(4)
+	n := 10 * serialCutoff
+	partial := make([]int64, p.Workers())
+	p.ForIdx(n, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		partial[w] = s
+	})
+	var got int64
+	for _, s := range partial {
+		got += s
+	}
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestSweepWorkersClippedAscending(t *testing.T) {
+	ws := SweepWorkers()
+	n := runtime.NumCPU()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("sweep must start at 1 worker: %v", ws)
+	}
+	for i, w := range ws {
+		if w > n {
+			t.Errorf("sweep entry %d oversubscribes the host: %d > %d CPUs", i, w, n)
+		}
+		if i > 0 && w <= ws[i-1] {
+			t.Errorf("sweep not strictly ascending: %v", ws)
+		}
+	}
+	if ws[len(ws)-1] != n {
+		t.Errorf("sweep must end at the full machine (%d): %v", n, ws)
+	}
+}

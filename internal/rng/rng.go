@@ -106,6 +106,20 @@ func (r *Stream) Perm(p []int) {
 	}
 }
 
+// StreamAt returns the counter-based stream at coordinate (seed, epoch,
+// lane): the same triple always yields the same stream, and distinct
+// triples yield statistically independent streams (each word is absorbed
+// through a full splitmix64 round). The parallel reference backends use
+// one stream per cell (or per particle) per phase — epoch encodes
+// (step, phase), lane the cell or particle index — so results are
+// bit-identical for any worker count.
+func StreamAt(seed, epoch, lane uint64) Stream {
+	st := seed
+	st = splitmix64(&st) ^ epoch
+	st = splitmix64(&st) ^ lane
+	return Stream{s: splitmix64(&st) | 1}
+}
+
 // Streams creates n independent streams seeded from a master seed,
 // one per virtual processor lane.
 func Streams(seed uint64, n int) []Stream {

@@ -39,18 +39,39 @@ func NewAccumulator(g grid.Grid, vols []float64, nInf float64) *Accumulator {
 	}
 }
 
+// addParticle accumulates the moments of particle i into cell c.
+func (a *Accumulator) addParticle(st *particle.Store, c int32, i int) {
+	a.count[c]++
+	a.momX[c] += st.U[i]
+	a.momY[c] += st.V[i]
+	a.enrg[c] += st.U[i]*st.U[i] + st.V[i]*st.V[i] + st.W[i]*st.W[i] +
+		st.R1[i]*st.R1[i] + st.R2[i]*st.R2[i]
+}
+
 // AddFlow accumulates one snapshot of the store (cell indices must be
 // current, i.e. call after the step's sort).
 func (a *Accumulator) AddFlow(st *particle.Store) {
 	n := st.Len()
 	for i := 0; i < n; i++ {
-		c := st.Cell[i]
-		a.count[c]++
-		a.momX[c] += st.U[i]
-		a.momY[c] += st.V[i]
-		a.enrg[c] += st.U[i]*st.U[i] + st.V[i]*st.V[i] + st.W[i]*st.W[i] +
-			st.R1[i]*st.R1[i] + st.R2[i]*st.R2[i]
+		a.addParticle(st, st.Cell[i], i)
 	}
+	a.Steps++
+}
+
+// AddFlowOrdered accumulates one snapshot using the cell-bucketed
+// ordering produced by the step's sort: order[cellStart[c]:cellStart[c+1]]
+// lists the particles of cell c. parFor shards the cell range (pass a
+// serial loop or a worker pool's For); workers touch disjoint cells and
+// the per-cell summation order follows the given ordering, so the
+// accumulation is race-free and bit-identical for any sharding.
+func (a *Accumulator) AddFlowOrdered(st *particle.Store, order, cellStart []int32, parFor func(n int, f func(lo, hi int))) {
+	parFor(len(cellStart)-1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			for _, oi := range order[cellStart[c]:cellStart[c+1]] {
+				a.addParticle(st, int32(c), int(oi))
+			}
+		}
+	})
 	a.Steps++
 }
 

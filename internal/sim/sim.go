@@ -19,9 +19,11 @@ import (
 	"dsmc/internal/geom"
 	"dsmc/internal/grid"
 	"dsmc/internal/molec"
+	"dsmc/internal/par"
 	"dsmc/internal/particle"
 	"dsmc/internal/phys"
 	"dsmc/internal/rng"
+	"dsmc/internal/sample"
 )
 
 // Config specifies a wind-tunnel simulation. The zero value is not
@@ -52,6 +54,14 @@ type Config struct {
 	// when positive: each collision exchanges energy with the particles'
 	// continuous vibrational reservoirs with probability 1/ZVib.
 	ZVib float64
+	// Workers is the CPU worker count the phases are sharded over
+	// (move/boundary over contiguous particle chunks, sort scatter over
+	// particle chunks, shuffle/select/collide/sample over cell ranges).
+	// 0 selects runtime.NumCPU(). Results are bit-identical for any
+	// worker count: every cell (and, at diffuse walls, every particle)
+	// draws from its own counter-based stream keyed by (seed, step,
+	// phase, index) rather than from a shared sequential stream.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration at a particle density
@@ -131,6 +141,15 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
+// The per-step stream domains: each (step, domain) pair is a distinct
+// epoch for rng.StreamAt, so no stream is ever reused across phases.
+const (
+	domainSort    = iota // in-cell shuffle (lane = cell)
+	domainCollide        // selection + collision (lane = cell)
+	domainWall           // diffuse wall re-emission (lane = particle)
+	numDomains
+)
+
 // Sim is a running wind-tunnel simulation.
 type Sim struct {
 	cfg  Config
@@ -147,15 +166,23 @@ type Sim struct {
 	plungerX float64
 	step     int
 
-	// sort scratch
-	counts    []int32
-	cellStart []int32
-	order     []int32
-	scratch   []collide.State5
+	pool   *par.Pool
+	sorter *par.CellSort
+	order  []int32
+
+	// per-worker scratch, indexed by the pool's block index
+	exits    [][]int32          // downstream-exit lists
+	scratchW [][]collide.State5 // scheme gather buffers
+	picksW   [][]pairPick       // accepted-pair buffers
+	selW     []time.Duration
+	colW     []time.Duration
+	colls    []int64
 
 	phaseTime  [numPhases]time.Duration
 	collisions int64
 }
+
+type pairPick struct{ a, b int32 }
 
 // New builds a simulation from the configuration.
 func New(cfg Config) (*Sim, error) {
@@ -196,12 +223,19 @@ func New(cfg Config) (*Sim, error) {
 			GInf:       math.Sqrt2 * cfg.Free.MeanSpeed(),
 			CollideAll: cfg.Free.Lambda <= 0,
 		},
-		counts:    make([]int32, g.Cells()),
-		cellStart: make([]int32, g.Cells()+1),
+		pool: par.New(cfg.Workers),
 	}
+	s.sorter = par.NewCellSort(s.pool, g.Cells())
 	if cfg.Scheme == nil {
 		s.bm = baseline.NewBM()
 	}
+	w := s.pool.Workers()
+	s.exits = make([][]int32, w)
+	s.scratchW = make([][]collide.State5, w)
+	s.picksW = make([][]pairPick, w)
+	s.selW = make([]time.Duration, w)
+	s.colW = make([]time.Duration, w)
+	s.colls = make([]int64, w)
 
 	// Fill the tunnel with freestream gas and bank the paper's ~10% extra
 	// in the reservoir.
@@ -234,6 +268,24 @@ func (s *Sim) initVibEquilibrium(lo, hi int) {
 		s.store.Evib[i] = -mean * math.Log(u)
 	}
 }
+
+// epoch encodes (step, domain) into the single epoch word of
+// rng.StreamAt — the one place the encoding lives, so no two phases can
+// drift onto the same stream coordinates.
+func (s *Sim) epoch(domain int) uint64 {
+	return uint64(s.step)*numDomains + uint64(domain)
+}
+
+// phaseStream returns the private counter-based stream for one lane (a
+// cell or particle index) of one phase of the current step. Because the
+// stream depends only on (seed, step, domain, lane), every lane draws the
+// same randomness no matter which worker processes it.
+func (s *Sim) phaseStream(domain, lane int) rng.Stream {
+	return rng.StreamAt(s.cfg.Seed, s.epoch(domain), uint64(lane))
+}
+
+// Workers returns the resolved worker count of the phase pool.
+func (s *Sim) Workers() int { return s.pool.Workers() }
 
 // NFlow returns the number of particles currently in the flow.
 func (s *Sim) NFlow() int { return s.store.Len() }
@@ -288,37 +340,53 @@ func (s *Sim) Run(n int) {
 }
 
 // move performs the collisionless motion: every particle adds its velocity
-// components to its position (eq. 2), and the plunger advances with the
-// freestream.
+// components to its position (eq. 2), sharded over contiguous particle
+// chunks, and the plunger advances with the freestream.
 func (s *Sim) move() {
 	st := s.store
-	n := st.Len()
-	for i := 0; i < n; i++ {
-		st.X[i] += st.U[i]
-		st.Y[i] += st.V[i]
-	}
+	s.pool.For(st.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.X[i] += st.U[i]
+			st.Y[i] += st.V[i]
+		}
+	})
 	s.plungerX += s.cfg.Free.Velocity()
 }
 
 // boundaries enforces all boundary conditions: the downstream soft sink
 // (into the reservoir), the upstream plunger, the hard tunnel walls, and
-// the wedge. Finally the plunger trigger is checked and the void refilled.
+// the wedge. The reflective treatment is sharded over contiguous particle
+// chunks (diffuse re-emission draws from per-particle streams); exiting
+// particles are only recorded in per-worker lists and removed afterwards,
+// so the parallel pass never mutates the store's membership. Finally the
+// plunger trigger is checked and the void refilled.
 func (s *Sim) boundaries() {
 	st := s.store
 	uInf := s.cfg.Free.Velocity()
-	for i := 0; i < st.Len(); {
-		// Downstream sink: remove and bank.
-		if st.X[i] > s.tun.W {
-			s.depositToReservoir(i)
-			continue // the swapped-in particle is re-examined at i
+	s.pool.ForIdx(st.Len(), func(w, lo, hi int) {
+		ex := s.exits[w][:0]
+		for i := lo; i < hi; i++ {
+			// Downstream sink: record for removal.
+			if st.X[i] > s.tun.W {
+				ex = append(ex, int32(i))
+				continue
+			}
+			// Upstream plunger: specular reflection in the plunger frame.
+			if st.X[i] < s.plungerX {
+				st.X[i] = 2*s.plungerX - st.X[i]
+				st.U[i] = 2*uInf - st.U[i]
+			}
+			s.reflectWalls(i)
 		}
-		// Upstream plunger: specular reflection in the plunger frame.
-		if st.X[i] < s.plungerX {
-			st.X[i] = 2*s.plungerX - st.X[i]
-			st.U[i] = 2*uInf - st.U[i]
+		s.exits[w] = ex
+	})
+	// Remove in descending index order: every particle swapped in from the
+	// end is then a survivor that already received its boundary treatment.
+	for w := len(s.exits) - 1; w >= 0; w-- {
+		ex := s.exits[w]
+		for k := len(ex) - 1; k >= 0; k-- {
+			s.depositToReservoir(int(ex[k]))
 		}
-		s.reflectWalls(i)
-		i++
 	}
 	if s.plungerX >= s.cfg.PlungerTrigger {
 		s.refillVoid()
@@ -358,9 +426,12 @@ func (s *Sim) reflectWalls(i int) {
 // reflectDiffuse handles the extension wall models: positions are mirrored
 // as in the specular case, but the velocity is re-emitted from the wall
 // distribution; for isothermal walls the out-of-plane and rotational
-// components re-equilibrate with the wall too.
+// components re-equilibrate with the wall too. The re-emission draws from
+// the particle's own counter-based stream so the boundary phase can run
+// on any worker count without changing results.
 func (s *Sim) reflectDiffuse(i int) {
 	st := s.store
+	r := s.phaseStream(domainWall, i)
 	for b := 0; b < 8; b++ {
 		p := geom.Vec2{X: st.X[i], Y: st.Y[i]}
 		v := geom.Vec2{X: st.U[i], Y: st.V[i]}
@@ -380,13 +451,13 @@ func (s *Sim) reflectDiffuse(i int) {
 			return
 		}
 		p = face.MirrorPosition(p)
-		out := s.cfg.Wall.Emit(face, v, &s.r)
+		out := s.cfg.Wall.Emit(face, v, &r)
 		st.X[i], st.Y[i] = p.X, p.Y
 		st.U[i], st.V[i] = out.X, out.Y
 		if s.cfg.Wall.Model == geom.DiffuseIsothermal {
-			st.W[i] = s.cfg.Wall.EmitAux(&s.r)
-			st.R1[i] = s.cfg.Wall.EmitAux(&s.r)
-			st.R2[i] = s.cfg.Wall.EmitAux(&s.r)
+			st.W[i] = s.cfg.Wall.EmitAux(&r)
+			st.R1[i] = s.cfg.Wall.EmitAux(&r)
+			st.R2[i] = s.cfg.Wall.EmitAux(&r)
 		}
 	}
 }
@@ -428,111 +499,126 @@ func (s *Sim) refillVoid() {
 
 // sortByCell computes every particle's cell index and produces a
 // cell-bucketed ordering with random order inside each cell — the role of
-// the paper's sort with the scaled-and-dithered key. A counting sort is
-// the O(N) serial analogue.
+// the paper's sort with the scaled-and-dithered key. The serial analogue
+// is an O(N) counting sort; par.CellSort shards the histogram and the
+// stable scatter over contiguous particle chunks and the in-cell shuffle
+// over cell ranges with per-cell streams.
 func (s *Sim) sortByCell() {
 	st := s.store
-	n := st.Len()
-	for i := range s.counts {
-		s.counts[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		c := int32(s.grid.CellOf(st.X[i], st.Y[i]))
-		st.Cell[i] = c
-		s.counts[c]++
-	}
-	s.cellStart[0] = 0
-	for c := 0; c < len(s.counts); c++ {
-		s.cellStart[c+1] = s.cellStart[c] + s.counts[c]
-	}
-	fill := make([]int32, len(s.counts))
-	copy(fill, s.cellStart[:len(s.counts)])
-	for i := 0; i < n; i++ {
-		c := st.Cell[i]
-		s.order[fill[c]] = int32(i)
-		fill[c]++
-	}
-	// Random order within each cell: collision candidates must change
-	// between time steps or the same partners collide repeatedly, leading
-	// to correlated velocity distributions.
-	for c := 0; c < len(s.counts); c++ {
-		lo, hi := s.cellStart[c], s.cellStart[c+1]
-		span := s.order[lo:hi]
-		for i := len(span) - 1; i > 0; i-- {
-			j := s.r.Intn(i + 1)
-			span[i], span[j] = span[j], span[i]
-		}
-	}
+	s.sorter.Sort(st.Len(), st.Cell, s.order, func(i int) int32 {
+		return int32(s.grid.CellOf(st.X[i], st.Y[i]))
+	})
+	s.sorter.Shuffle(s.order, s.cfg.Seed, s.epoch(domainSort))
 }
 
 // selectAndCollide pairs candidates even/odd within each cell, applies the
-// selection rule, and collides accepted pairs. Selection and collision
-// times are accounted separately to reproduce the paper's breakdown.
+// selection rule, and collides accepted pairs. The work is sharded over
+// cell ranges: cells touch disjoint particles (via the sort order) and
+// each draws from its own stream, so any worker count produces identical
+// collisions. Selection and collision times are accounted separately to
+// reproduce the paper's breakdown.
 func (s *Sim) selectAndCollide() {
 	st := s.store
-	tSel := time.Duration(0)
-	tCol := time.Duration(0)
+	cellStart := s.sorter.CellStart()
+	nc := len(cellStart) - 1
 	if s.cfg.Scheme != nil {
 		// Pluggable scheme path (baselines): gather cells, delegate.
 		t0 := time.Now()
-		for c := 0; c < len(s.counts); c++ {
-			lo, hi := s.cellStart[c], s.cellStart[c+1]
-			if hi-lo < 2 {
-				continue
+		s.pool.ForIdx(nc, func(w, clo, chi int) {
+			var coll int64
+			for c := clo; c < chi; c++ {
+				lo, hi := cellStart[c], cellStart[c+1]
+				if hi-lo < 2 {
+					continue
+				}
+				if cap(s.scratchW[w]) < int(hi-lo) {
+					s.scratchW[w] = make([]collide.State5, hi-lo)
+				}
+				cellParts := s.scratchW[w][:hi-lo]
+				for k, oi := range s.order[lo:hi] {
+					cellParts[k] = st.Vel(int(oi))
+				}
+				r := s.phaseStream(domainCollide, c)
+				coll += int64(s.cfg.Scheme.CollideCell(cellParts, s.vols[c], s.rule, &r))
+				for k, oi := range s.order[lo:hi] {
+					st.SetVel(int(oi), cellParts[k])
+				}
 			}
-			if cap(s.scratch) < int(hi-lo) {
-				s.scratch = make([]collide.State5, hi-lo)
-			}
-			cellParts := s.scratch[:hi-lo]
-			for k, oi := range s.order[lo:hi] {
-				cellParts[k] = st.Vel(int(oi))
-			}
-			s.collisions += int64(s.cfg.Scheme.CollideCell(cellParts, s.vols[c], s.rule, &s.r))
-			for k, oi := range s.order[lo:hi] {
-				st.SetVel(int(oi), cellParts[k])
-			}
+			s.colls[w] = coll
+		})
+		for _, c := range s.colls {
+			s.collisions += c
 		}
 		s.phaseTime[PhaseCollide] += time.Since(t0)
 		return
 	}
 	// Default McDonald–Baganoff path, operating in place.
-	for c := 0; c < len(s.counts); c++ {
-		lo, hi := s.cellStart[c], s.cellStart[c+1]
-		cnt := int(hi - lo)
-		if cnt < 2 {
-			continue
-		}
-		t0 := time.Now()
-		type pick struct{ a, b int32 }
-		var picks []pick
-		for k := int32(0); k+1 < int32(cnt); k += 2 {
-			ia, ib := s.order[lo+k], s.order[lo+k+1]
-			va := st.Vel(int(ia))
-			vb := st.Vel(int(ib))
-			g := collide.TransRelSpeed(&va, &vb)
-			p := s.rule.Prob(cnt, s.vols[c], g)
-			if p == 1 || s.r.Float64() < p {
-				picks = append(picks, pick{ia, ib})
+	s.pool.ForIdx(nc, func(w, clo, chi int) {
+		var tSel, tCol time.Duration
+		var coll int64
+		picks := s.picksW[w][:0]
+		for c := clo; c < chi; c++ {
+			lo, hi := cellStart[c], cellStart[c+1]
+			cnt := int(hi - lo)
+			if cnt < 2 {
+				continue
 			}
-		}
-		t1 := time.Now()
-		tSel += t1.Sub(t0)
-		for _, pk := range picks {
-			va := st.Vel(int(pk.a))
-			vb := st.Vel(int(pk.b))
-			perm := rng.RandomPerm5(s.bm.Table, &s.r)
-			collide.Collide(&va, &vb, perm, s.r.Uint32())
-			if s.cfg.ZVib > 0 {
-				s.vibExchange(&va, &vb, int(pk.a), int(pk.b))
+			r := s.phaseStream(domainCollide, c)
+			t0 := time.Now()
+			picks = picks[:0]
+			for k := int32(0); k+1 < int32(cnt); k += 2 {
+				ia, ib := s.order[lo+k], s.order[lo+k+1]
+				va := st.Vel(int(ia))
+				vb := st.Vel(int(ib))
+				g := collide.TransRelSpeed(&va, &vb)
+				p := s.rule.Prob(cnt, s.vols[c], g)
+				if p == 1 || r.Float64() < p {
+					picks = append(picks, pairPick{ia, ib})
+				}
 			}
-			st.SetVel(int(pk.a), va)
-			st.SetVel(int(pk.b), vb)
-			s.collisions++
+			t1 := time.Now()
+			tSel += t1.Sub(t0)
+			for _, pk := range picks {
+				va := st.Vel(int(pk.a))
+				vb := st.Vel(int(pk.b))
+				perm := rng.RandomPerm5(s.bm.Table, &r)
+				collide.Collide(&va, &vb, perm, r.Uint32())
+				if s.cfg.ZVib > 0 {
+					s.vibExchange(&va, &vb, int(pk.a), int(pk.b), &r)
+				}
+				st.SetVel(int(pk.a), va)
+				st.SetVel(int(pk.b), vb)
+				coll++
+			}
+			tCol += time.Since(t1)
 		}
-		tCol += time.Since(t1)
+		s.picksW[w] = picks[:0]
+		s.selW[w], s.colW[w] = tSel, tCol
+		s.colls[w] = coll
+	})
+	// A concurrent section's wall time is its slowest shard; if the pool
+	// fell back to serial dispatch the shards ran back-to-back and their
+	// times add instead. Per-worker times are written before the pool's
+	// barrier and read after it, so the breakdown stays race-free.
+	s.phaseTime[PhaseSelect] += shardWall(s.pool.Parallel(nc), s.selW)
+	s.phaseTime[PhaseCollide] += shardWall(s.pool.Parallel(nc), s.colW)
+	for _, c := range s.colls {
+		s.collisions += c
 	}
-	s.phaseTime[PhaseSelect] += tSel
-	s.phaseTime[PhaseCollide] += tCol
+}
+
+func shardWall(concurrent bool, ds []time.Duration) time.Duration {
+	var m, sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > m {
+			m = d
+		}
+	}
+	if concurrent {
+		return m
+	}
+	return sum
 }
 
 // vibExchange applies the continuous vibrational relaxation to a just-
@@ -541,7 +627,7 @@ func (s *Sim) selectAndCollide() {
 // relative translational velocity is rescaled so total energy is
 // conserved exactly. The pair mean is untouched, so momentum is
 // conserved too.
-func (s *Sim) vibExchange(va, vb *collide.State5, ia, ib int) {
+func (s *Sim) vibExchange(va, vb *collide.State5, ia, ib int, r *rng.Stream) {
 	du := va[0] - vb[0]
 	dv := va[1] - vb[1]
 	dw := va[2] - vb[2]
@@ -550,7 +636,7 @@ func (s *Sim) vibExchange(va, vb *collide.State5, ia, ib int) {
 		return
 	}
 	st := s.store
-	eTrNew, ea, eb := collide.VibExchange(eTr, st.Evib[ia], st.Evib[ib], s.cfg.ZVib, &s.r)
+	eTrNew, ea, eb := collide.VibExchange(eTr, st.Evib[ia], st.Evib[ib], s.cfg.ZVib, r)
 	st.Evib[ia], st.Evib[ib] = ea, eb
 	if eTrNew == eTr {
 		return
@@ -575,10 +661,19 @@ func (s *Sim) TotalVibEnergy() float64 {
 
 // CellCounts returns the current per-cell particle counts (valid after the
 // sort of the latest step) for samplers.
-func (s *Sim) CellCounts() []int32 { return s.counts }
+func (s *Sim) CellCounts() []int32 { return s.sorter.Counts() }
 
 // TotalEnergy returns the flow's total velocity-square sum (diagnostic).
 func (s *Sim) TotalEnergy() float64 { return s.store.TotalEnergy() }
 
 // Store exposes the particle store for diagnostics and samplers.
 func (s *Sim) Store() *particle.Store { return s.store }
+
+// SampleInto accumulates the current snapshot into acc, sharded over cell
+// ranges on the simulation's worker pool. Valid after a completed step
+// (the cell ordering of the latest sort must be current). The per-cell
+// accumulation order follows the sort order, so the sums are bit-identical
+// for any worker count.
+func (s *Sim) SampleInto(acc *sample.Accumulator) {
+	acc.AddFlowOrdered(s.store, s.order, s.sorter.CellStart(), s.pool.For)
+}

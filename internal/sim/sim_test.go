@@ -355,8 +355,9 @@ func TestVibExchangeConservesPairEnergyInSim(t *testing.T) {
 		}
 		return e + ea + eb // Evib is stored in the same Σv² units
 	}
+	r := s.phaseStream(domainCollide, 0)
 	before := pairE(va, vb, st.Evib[0], st.Evib[1])
-	s.vibExchange(&va, &vb, 0, 1)
+	s.vibExchange(&va, &vb, 0, 1, &r)
 	after := pairE(va, vb, st.Evib[0], st.Evib[1])
 	if math.Abs(after-before) > 1e-9*before {
 		t.Errorf("pair energy drift: %v -> %v", before, after)

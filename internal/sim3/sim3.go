@@ -14,6 +14,7 @@ import (
 
 	"dsmc/internal/collide"
 	"dsmc/internal/molec"
+	"dsmc/internal/par"
 	"dsmc/internal/phys"
 	"dsmc/internal/rng"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	Model molec.Model
 	// Seed seeds the randomness.
 	Seed uint64
+	// Workers is the CPU worker count the phases are sharded over; 0
+	// selects runtime.NumCPU(). As in the 2D reference backend, every
+	// cell draws from its own counter-based stream, so results are
+	// bit-identical for any worker count.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -115,10 +121,30 @@ type Sim struct {
 	pistonX float64
 	stepN   int
 
-	counts    []int32
-	cellStart []int32
-	order     []int32
-	collided  int64
+	pool     *par.Pool
+	sorter   *par.CellSort
+	order    []int32
+	colls    []int64
+	collided int64
+}
+
+// The per-step stream domains of the 3D backend (epochs for rng.StreamAt).
+const (
+	domainSort = iota // in-cell shuffle (lane = cell)
+	domainCollide
+	numDomains
+)
+
+// epoch encodes (step, domain) into the epoch word of rng.StreamAt; the
+// single definition keeps the phases on disjoint stream coordinates.
+func (s *Sim) epoch(domain int) uint64 {
+	return uint64(s.stepN)*numDomains + uint64(domain)
+}
+
+// phaseStream returns the counter-based stream of one cell for one phase
+// of the current step.
+func (s *Sim) phaseStream(domain, cell int) rng.Stream {
+	return rng.StreamAt(s.cfg.Seed, s.epoch(domain), uint64(cell))
 }
 
 // New builds and fills the shock tube with gas at rest.
@@ -143,12 +169,13 @@ func New(cfg Config) (*Sim, error) {
 			GInf:       math.Sqrt2 * free.MeanSpeed(),
 			CollideAll: cfg.Lambda <= 0,
 		},
-		table:     rng.Perm5Table(),
-		r:         rng.NewStream(cfg.Seed),
-		counts:    make([]int32, g.Cells()),
-		cellStart: make([]int32, g.Cells()+1),
-		order:     make([]int32, n),
+		table: rng.Perm5Table(),
+		r:     rng.NewStream(cfg.Seed),
+		pool:  par.New(cfg.Workers),
+		order: make([]int32, n),
 	}
+	s.sorter = par.NewCellSort(s.pool, g.Cells())
+	s.colls = make([]int64, s.pool.Workers())
 	sigma := free.ComponentSigma()
 	for i := range s.x {
 		s.x[i] = s.r.Float64() * float64(cfg.NX)
@@ -170,6 +197,9 @@ func (s *Sim) PistonX() float64 { return s.pistonX }
 // StepCount returns completed steps.
 func (s *Sim) StepCount() int { return s.stepN }
 
+// Workers returns the resolved worker count of the phase pool.
+func (s *Sim) Workers() int { return s.pool.Workers() }
+
 // Collisions returns the cumulative collision count.
 func (s *Sim) Collisions() int64 { return s.collided }
 
@@ -189,94 +219,90 @@ func (s *Sim) Run(n int) {
 	}
 }
 
+// move advances positions and applies the piston and the five specular
+// walls, sharded over contiguous particle chunks (the 3D boundaries
+// consume no randomness, so the shard is trivially deterministic).
 func (s *Sim) move() {
 	w := float64(s.cfg.NX)
 	h := float64(s.cfg.NY)
 	d := float64(s.cfg.NZ)
 	s.pistonX += s.cfg.PistonSpeed
 	up2 := 2 * s.cfg.PistonSpeed
-	for i := range s.x {
-		s.x[i] += s.vel[i][0]
-		s.y[i] += s.vel[i][1]
-		s.z[i] += s.vel[i][2]
-		// Piston face (specular in the piston frame) and far wall.
-		if s.x[i] < s.pistonX {
-			s.x[i] = 2*s.pistonX - s.x[i]
-			s.vel[i][0] = up2 - s.vel[i][0]
-		}
-		if s.x[i] > w {
-			s.x[i] = 2*w - s.x[i]
-			if s.vel[i][0] > 0 {
-				s.vel[i][0] = -s.vel[i][0]
+	s.pool.For(len(s.x), func(plo, phi int) {
+		for i := plo; i < phi; i++ {
+			s.x[i] += s.vel[i][0]
+			s.y[i] += s.vel[i][1]
+			s.z[i] += s.vel[i][2]
+			// Piston face (specular in the piston frame) and far wall.
+			if s.x[i] < s.pistonX {
+				s.x[i] = 2*s.pistonX - s.x[i]
+				s.vel[i][0] = up2 - s.vel[i][0]
+			}
+			if s.x[i] > w {
+				s.x[i] = 2*w - s.x[i]
+				if s.vel[i][0] > 0 {
+					s.vel[i][0] = -s.vel[i][0]
+				}
+			}
+			// Side walls.
+			if s.y[i] < 0 {
+				s.y[i] = -s.y[i]
+				s.vel[i][1] = -s.vel[i][1]
+			}
+			if s.y[i] > h {
+				s.y[i] = 2*h - s.y[i]
+				s.vel[i][1] = -s.vel[i][1]
+			}
+			if s.z[i] < 0 {
+				s.z[i] = -s.z[i]
+				s.vel[i][2] = -s.vel[i][2]
+			}
+			if s.z[i] > d {
+				s.z[i] = 2*d - s.z[i]
+				s.vel[i][2] = -s.vel[i][2]
 			}
 		}
-		// Side walls.
-		if s.y[i] < 0 {
-			s.y[i] = -s.y[i]
-			s.vel[i][1] = -s.vel[i][1]
-		}
-		if s.y[i] > h {
-			s.y[i] = 2*h - s.y[i]
-			s.vel[i][1] = -s.vel[i][1]
-		}
-		if s.z[i] < 0 {
-			s.z[i] = -s.z[i]
-			s.vel[i][2] = -s.vel[i][2]
-		}
-		if s.z[i] > d {
-			s.z[i] = 2*d - s.z[i]
-			s.vel[i][2] = -s.vel[i][2]
-		}
-	}
+	})
 }
 
+// sortByCell is the 3D instantiation of the shared sharded counting sort
+// (par.CellSort): per-worker histograms over particle chunks, a stable
+// sharded scatter, and a per-cell-stream shuffle over cell ranges.
 func (s *Sim) sortByCell() {
-	for i := range s.counts {
-		s.counts[i] = 0
-	}
-	for i := range s.x {
-		c := int32(s.grid.CellOf(s.x[i], s.y[i], s.z[i]))
-		s.cell[i] = c
-		s.counts[c]++
-	}
-	s.cellStart[0] = 0
-	for c := 0; c < len(s.counts); c++ {
-		s.cellStart[c+1] = s.cellStart[c] + s.counts[c]
-	}
-	fill := make([]int32, len(s.counts))
-	copy(fill, s.cellStart[:len(s.counts)])
-	for i := range s.x {
-		c := s.cell[i]
-		s.order[fill[c]] = int32(i)
-		fill[c]++
-	}
-	// Random order within each cell.
-	for c := 0; c < len(s.counts); c++ {
-		span := s.order[s.cellStart[c]:s.cellStart[c+1]]
-		for i := len(span) - 1; i > 0; i-- {
-			j := s.r.Intn(i + 1)
-			span[i], span[j] = span[j], span[i]
-		}
-	}
+	s.sorter.Sort(len(s.x), s.cell, s.order, func(i int) int32 {
+		return int32(s.grid.CellOf(s.x[i], s.y[i], s.z[i]))
+	})
+	s.sorter.Shuffle(s.order, s.cfg.Seed, s.epoch(domainSort))
 }
 
+// selectAndCollide shards the cells over the pool; each cell collides
+// from its own stream and cells touch disjoint particles.
 func (s *Sim) selectAndCollide() {
-	for c := 0; c < len(s.counts); c++ {
-		lo, hi := s.cellStart[c], s.cellStart[c+1]
-		cnt := int(hi - lo)
-		if cnt < 2 {
-			continue
-		}
-		for k := int32(0); k+1 < int32(cnt); k += 2 {
-			ia, ib := int(s.order[lo+k]), int(s.order[lo+k+1])
-			g := collide.TransRelSpeed(&s.vel[ia], &s.vel[ib])
-			p := s.rule.Prob(cnt, 1, g)
-			if p == 1 || s.r.Float64() < p {
-				perm := rng.RandomPerm5(s.table, &s.r)
-				collide.Collide(&s.vel[ia], &s.vel[ib], perm, s.r.Uint32())
-				s.collided++
+	cellStart := s.sorter.CellStart()
+	s.pool.ForIdx(len(cellStart)-1, func(w, clo, chi int) {
+		var coll int64
+		for c := clo; c < chi; c++ {
+			lo, hi := cellStart[c], cellStart[c+1]
+			cnt := int(hi - lo)
+			if cnt < 2 {
+				continue
+			}
+			r := s.phaseStream(domainCollide, c)
+			for k := int32(0); k+1 < int32(cnt); k += 2 {
+				ia, ib := int(s.order[lo+k]), int(s.order[lo+k+1])
+				g := collide.TransRelSpeed(&s.vel[ia], &s.vel[ib])
+				p := s.rule.Prob(cnt, 1, g)
+				if p == 1 || r.Float64() < p {
+					perm := rng.RandomPerm5(s.table, &r)
+					collide.Collide(&s.vel[ia], &s.vel[ib], perm, r.Uint32())
+					coll++
+				}
 			}
 		}
+		s.colls[w] = coll
+	})
+	for _, c := range s.colls {
+		s.collided += c
 	}
 }
 
