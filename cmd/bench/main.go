@@ -1,0 +1,188 @@
+// Command bench runs the key step benchmarks outside `go test` and
+// writes a machine-readable record of the performance trajectory
+// (BENCH_PR2.json): wall-clock µs/particle/step for the paper's
+// near-continuum and rarefied cases plus the worker sweep at paper scale,
+// optionally compared against a previously recorded baseline file.
+//
+//	go run ./cmd/bench -out BENCH_PR2.json -baseline BENCH_PR1.json
+//	go run ./cmd/bench -quick   # CI smoke: few steps, still all cases
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"dsmc"
+	"dsmc/internal/par"
+	"dsmc/internal/sim3"
+)
+
+// Record is the schema of a bench output file. Case names are stable
+// across PRs so later runs can be diffed against earlier files.
+type Record struct {
+	Name          string `json:"name"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	Go            string `json:"go"`
+	CPUs          int    `json:"cpus"`
+	WarmSteps     int    `json:"warm_steps"`
+	MeasuredSteps int    `json:"measured_steps"`
+	Cases         []Case `json:"cases"`
+}
+
+// Case is one benchmark configuration's measurement.
+type Case struct {
+	Name              string  `json:"name"`
+	Workers           int     `json:"workers"`
+	Particles         int     `json:"particles"`
+	NsPerStep         float64 `json:"ns_per_step"`
+	UsPerParticleStep float64 `json:"us_per_particle_step"`
+	// Set when -baseline names a file containing the same case.
+	BaselineUsPerParticleStep float64 `json:"baseline_us_per_particle_step,omitempty"`
+	SpeedupVsBaseline         float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type stepper interface {
+	Run(n int)
+	NFlow() int
+}
+
+type sim3Adapter struct{ *sim3.Sim }
+
+func (a sim3Adapter) NFlow() int { return a.N() }
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	baseline := flag.String("baseline", "", "earlier bench JSON to compute speedups against")
+	warm := flag.Int("warm", 30, "warm-up steps per case (past the initial transient)")
+	steps := flag.Int("steps", 40, "measured steps per case")
+	sweepPerCell := flag.Float64("sweep-percell", 75, "particles/cell of the worker sweep (75 = paper scale)")
+	quick := flag.Bool("quick", false, "CI smoke mode: 3 warm-up and 3 measured steps (unless -warm/-steps are given explicitly)")
+	flag.Parse()
+	if *quick {
+		warmSet, stepsSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "warm":
+				warmSet = true
+			case "steps":
+				stepsSet = true
+			}
+		})
+		if !warmSet {
+			*warm = 3
+		}
+		if !stepsSet {
+			*steps = 3
+		}
+	}
+
+	rec := Record{
+		Name:          "dsmc step benchmarks",
+		GeneratedUnix: time.Now().Unix(),
+		Go:            runtime.Version(),
+		CPUs:          runtime.NumCPU(),
+		WarmSteps:     *warm,
+		MeasuredSteps: *steps,
+	}
+
+	wedge := func(lambda, perCell float64, workers int) stepper {
+		cfg := dsmc.PaperConfig()
+		cfg.MeanFreePath = lambda
+		cfg.ParticlesPerCell = perCell
+		cfg.Workers = workers
+		cfg.Seed = 1988
+		s, err := dsmc.NewSimulation(cfg)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		return s
+	}
+
+	rec.add("fig1-near-continuum", 0, *warm, *steps, wedge(0, 8, 0))
+	rec.add("fig4-rarefied", 0, *warm, *steps, wedge(0.5, 8, 0))
+	rec.add("cray-surrogate-1worker", 1, *warm, *steps, wedge(0.5, 8, 1))
+	for _, w := range par.SweepWorkers() {
+		rec.add(fmt.Sprintf("step-worker-sweep/workers-%d", w), w,
+			*warm, *steps, wedge(0.5, *sweepPerCell, w))
+	}
+	for _, w := range par.SweepWorkers() {
+		s, err := sim3.New(sim3.Config{
+			NX: 160, NY: 16, NZ: 16,
+			Cm: 0.125, PistonSpeed: 0.131, NPerCell: 12, Seed: 3,
+			Workers: w,
+		})
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rec.add(fmt.Sprintf("shocktube3d/workers-%d", w), w, *warm, *steps, sim3Adapter{s})
+	}
+
+	if *baseline != "" {
+		if err := rec.compare(*baseline); err != nil {
+			log.Fatalf("bench: baseline %s: %v", *baseline, err)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(rec.Cases))
+}
+
+// add warms a simulation up, times `steps` further steps, and appends the
+// measurement.
+func (rec *Record) add(name string, workers, warm, steps int, s stepper) {
+	s.Run(warm)
+	t0 := time.Now()
+	s.Run(steps)
+	elapsed := time.Since(t0)
+	nsPerStep := float64(elapsed.Nanoseconds()) / float64(steps)
+	c := Case{
+		Name:              name,
+		Workers:           workers,
+		Particles:         s.NFlow(),
+		NsPerStep:         nsPerStep,
+		UsPerParticleStep: nsPerStep / 1000 / float64(s.NFlow()),
+	}
+	rec.Cases = append(rec.Cases, c)
+	fmt.Printf("%-34s %9d particles  %10.0f ns/step  %.4f us/particle/step\n",
+		name, c.Particles, c.NsPerStep, c.UsPerParticleStep)
+}
+
+// compare fills the baseline fields of every case whose name appears in
+// the baseline record file.
+func (rec *Record) compare(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Record
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return err
+	}
+	byName := make(map[string]Case, len(base.Cases))
+	for _, c := range base.Cases {
+		byName[c.Name] = c
+	}
+	for i := range rec.Cases {
+		b, ok := byName[rec.Cases[i].Name]
+		if !ok || b.UsPerParticleStep <= 0 {
+			continue
+		}
+		rec.Cases[i].BaselineUsPerParticleStep = b.UsPerParticleStep
+		rec.Cases[i].SpeedupVsBaseline = b.UsPerParticleStep / rec.Cases[i].UsPerParticleStep
+		fmt.Printf("%-34s speedup vs baseline: %.2fx\n",
+			rec.Cases[i].Name, rec.Cases[i].SpeedupVsBaseline)
+	}
+	return nil
+}

@@ -1,19 +1,49 @@
 package par
 
-import "dsmc/internal/rng"
+import (
+	"dsmc/internal/particle"
+	"dsmc/internal/rng"
+)
 
-// CellSort is the sharded stable counting sort shared by the reference
-// backends: per-worker histograms over contiguous element blocks, a
-// serial merge that assigns every worker its scatter base inside each
-// cell, and a stable sharded scatter. The resulting order is the serial
-// counting sort's (ascending element index within each cell) for any
-// worker count — the invariant the deterministic collide phase relies on.
+// CellSort is the sharded cell-major sort shared by the reference
+// backends. It fuses the classic "sort then reorder" into one stable
+// counting sort whose scatter pass moves the particle payload itself:
+//
+//  1. Plan: per-worker histograms over contiguous element blocks and a
+//     serial merge that assigns every worker its scatter base inside each
+//     cell;
+//  2. ScatterStore: a stable sharded scatter that writes the payload
+//     (X, Y, [Z], U, V, W, R1, R2, Evib, Cell) of a source
+//     particle.Store directly into a shadow store at its cell-major
+//     position — no index permutation is ever materialized, and after the
+//     caller swaps the two buffers cell c's particles occupy the
+//     contiguous range CellStart()[c]:CellStart()[c+1];
+//  3. Shuffle: an in-place per-cell-span record shuffle drawing each
+//     cell's permutation from its own counter-based stream.
+//
+// The resulting order is the serial counting sort's (ascending
+// pre-scatter index within each cell) for any worker count — the
+// invariant the deterministic collide phase relies on. All dispatch
+// closures are built once at construction, so steady-state sorting
+// performs zero heap allocations.
 type CellSort struct {
 	pool      *Pool
 	counts    []int32
 	cellStart []int32
 	wcounts   [][]int32
 	wfill     [][]int32
+
+	// Prebuilt shard bodies (allocation-free dispatch) and the per-call
+	// state they read. The fields are only live during the owning call.
+	histFn    func(w, lo, hi int)
+	scatterFn func(w, lo, hi int)
+	shuffleFn func(w, clo, chi int)
+	cell      []int32
+	cellOf    func(i int) int32
+	src, dst  *particle.Store
+	swap      func(i, j int)
+	seed      uint64
+	epoch     uint64
 }
 
 // NewCellSort returns a sorter over the given cell count, sharded on pool.
@@ -29,30 +59,26 @@ func NewCellSort(pool *Pool, cells int) *CellSort {
 		cs.wcounts[w] = make([]int32, cells)
 		cs.wfill[w] = make([]int32, cells)
 	}
+	cs.histFn = cs.histShard
+	cs.scatterFn = cs.scatterShard
+	cs.shuffleFn = cs.shuffleShard
 	return cs
 }
 
-// Counts returns the per-cell element counts of the latest Sort.
+// Counts returns the per-cell element counts of the latest Plan.
 func (cs *CellSort) Counts() []int32 { return cs.counts }
 
-// CellStart returns the bucket boundaries of the latest Sort: cell c's
-// elements are order[CellStart()[c]:CellStart()[c+1]].
+// CellStart returns the bucket boundaries of the latest Plan: cell c's
+// elements occupy [CellStart()[c], CellStart()[c+1]) after the scatter.
 func (cs *CellSort) CellStart() []int32 { return cs.cellStart }
 
-// Sort computes cell[i] = cellOf(i) for every i in [0, n), then fills
-// order[:n] with the stable cell-bucketed permutation.
-func (cs *CellSort) Sort(n int, cell, order []int32, cellOf func(i int) int32) {
-	cs.pool.ForIdx(n, func(w, lo, hi int) {
-		cw := cs.wcounts[w]
-		for c := range cw {
-			cw[c] = 0
-		}
-		for i := lo; i < hi; i++ {
-			c := cellOf(i)
-			cell[i] = c
-			cw[c]++
-		}
-	})
+// Plan computes cell[i] = cellOf(i) for every i in [0, n), the per-cell
+// counts and bucket boundaries, and every worker's scatter base inside
+// each cell. It must precede ScatterStore.
+func (cs *CellSort) Plan(n int, cell []int32, cellOf func(i int) int32) {
+	cs.cell, cs.cellOf = cell, cellOf
+	cs.pool.ForIdx(n, cs.histFn)
+	cs.cellOf = nil
 	// Merge into global counts/starts and give every worker its scatter
 	// base inside each cell: cell c holds worker 0's elements first, then
 	// worker 1's, ... — exactly the stable order of the serial sort.
@@ -66,33 +92,83 @@ func (cs *CellSort) Sort(n int, cell, order []int32, cellOf func(i int) int32) {
 		cs.counts[c] = t
 		cs.cellStart[c+1] = cs.cellStart[c] + t
 	}
-	cs.pool.ForIdx(n, func(w, lo, hi int) {
-		fill := cs.wfill[w]
-		for i := lo; i < hi; i++ {
-			c := cell[i]
-			order[fill[c]] = int32(i)
-			fill[c]++
-		}
-	})
 }
 
-// Shuffle randomizes the order within each cell — collision candidates
-// must change between time steps or the same partners collide repeatedly,
-// leading to correlated velocity distributions — drawing each cell's
-// permutation from its own counter-based stream (seed, epoch, cell),
-// sharded over cell ranges.
-func (cs *CellSort) Shuffle(order []int32, seed, epoch uint64) {
-	cs.pool.For(len(cs.counts), func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			span := order[cs.cellStart[c]:cs.cellStart[c+1]]
-			if len(span) < 2 {
-				continue
-			}
-			r := rng.StreamAt(seed, epoch, uint64(c))
-			for i := len(span) - 1; i > 0; i-- {
-				j := r.Intn(i + 1)
-				span[i], span[j] = span[j], span[i]
-			}
+func (cs *CellSort) histShard(w, lo, hi int) {
+	cw := cs.wcounts[w]
+	for c := range cw {
+		cw[c] = 0
+	}
+	cell, cellOf := cs.cell, cs.cellOf
+	for i := lo; i < hi; i++ {
+		c := cellOf(i)
+		cell[i] = c
+		cw[c]++
+	}
+}
+
+// ScatterStore performs the stable sharded scatter of the latest Plan,
+// writing src's payload into dst at cell-major positions and marking
+// dst's first src.Len() slots live. The caller then swaps the two store
+// pointers — sort and physical reorder fused into this single pass. src
+// and dst must share Plan's cell slice (src.Cell) and have equal shape
+// (both 2D or both 3D, dst.Cap() >= src.Len()).
+func (cs *CellSort) ScatterStore(src, dst *particle.Store) {
+	cs.src, cs.dst = src, dst
+	cs.pool.ForIdx(src.Len(), cs.scatterFn)
+	cs.src, cs.dst = nil, nil
+	dst.SetLen(src.Len())
+}
+
+func (cs *CellSort) scatterShard(w, lo, hi int) {
+	src, dst := cs.src, cs.dst
+	fill := cs.wfill[w]
+	cell := src.Cell
+	threeD := src.Z != nil
+	for i := lo; i < hi; i++ {
+		c := cell[i]
+		d := fill[c]
+		fill[c] = d + 1
+		dst.X[d] = src.X[i]
+		dst.Y[d] = src.Y[i]
+		if threeD {
+			dst.Z[d] = src.Z[i]
 		}
-	})
+		dst.U[d] = src.U[i]
+		dst.V[d] = src.V[i]
+		dst.W[d] = src.W[i]
+		dst.R1[d] = src.R1[i]
+		dst.R2[d] = src.R2[i]
+		dst.Evib[d] = src.Evib[i]
+		dst.Cell[d] = c
+	}
+}
+
+// Shuffle randomizes the record order within each cell span in place —
+// collision candidates must change between time steps or the same
+// partners collide repeatedly, leading to correlated velocity
+// distributions — drawing each cell's permutation from its own
+// counter-based stream (seed, epoch, cell), sharded over cell ranges.
+// swap exchanges two records of the scattered payload (e.g. the bound
+// store's Swap); it is only ever called with indices of one cell span.
+func (cs *CellSort) Shuffle(seed, epoch uint64, swap func(i, j int)) {
+	cs.seed, cs.epoch, cs.swap = seed, epoch, swap
+	cs.pool.ForIdx(len(cs.counts), cs.shuffleFn)
+	cs.swap = nil
+}
+
+func (cs *CellSort) shuffleShard(_, clo, chi int) {
+	swap := cs.swap
+	for c := clo; c < chi; c++ {
+		lo := int(cs.cellStart[c])
+		cnt := int(cs.cellStart[c+1]) - lo
+		if cnt < 2 {
+			continue
+		}
+		r := rng.StreamAt(cs.seed, cs.epoch, uint64(c))
+		for i := cnt - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			swap(lo+i, lo+j)
+		}
+	}
 }

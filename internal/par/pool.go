@@ -24,6 +24,10 @@ const serialCutoff = 2048
 type Pool struct {
 	workers int
 	tasks   chan task
+	// wg is reused across dispatches so a steady-state ForIdx performs no
+	// heap allocation. Safe because calls must not nest or overlap (see
+	// ForIdx); a pool serves one phase of one simulation at a time.
+	wg sync.WaitGroup
 }
 
 type task struct {
@@ -112,13 +116,12 @@ func (p *Pool) ForIdx(n int, f func(w, lo, hi int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p.workers)
+	p.wg.Add(p.workers)
 	for b := 0; b < p.workers; b++ {
 		lo, hi := p.span(b, n)
-		p.tasks <- task{f: f, w: b, lo: lo, hi: hi, wg: &wg}
+		p.tasks <- task{f: f, w: b, lo: lo, hi: hi, wg: &p.wg}
 	}
-	wg.Wait()
+	p.wg.Wait()
 }
 
 // For runs f over [0, n) split into the fixed block decomposition,

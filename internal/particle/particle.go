@@ -14,9 +14,17 @@ import (
 
 // Store holds particles in structure-of-arrays layout. The physical state
 // per particle is (x, y, u, v, w, r1, r2): 7 values in 2D, exactly the
-// paper's count. Cell is derived (computational) state.
+// paper's count; 3D simulations add the Z column (NewStore3). Cell is
+// derived (computational) state.
+//
+// The simulations keep the store cell-major: every step the sort's
+// scatter pass physically reorders the payload into a shadow store and
+// the buffers are swapped, so cell c's particles occupy the contiguous
+// index range cellStart[c]:cellStart[c+1] and Cell is non-decreasing.
 type Store struct {
-	X, Y    []float64
+	X, Y []float64
+	// Z is the third coordinate of 3D stores; nil in 2D.
+	Z       []float64
 	U, V, W []float64
 	R1, R2  []float64
 	// Evib is the continuous vibrational energy per particle (the
@@ -27,7 +35,7 @@ type Store struct {
 	n    int
 }
 
-// NewStore returns a store with the given capacity and zero particles.
+// NewStore returns a 2D store with the given capacity and zero particles.
 func NewStore(capacity int) *Store {
 	return &Store{
 		X: make([]float64, capacity), Y: make([]float64, capacity),
@@ -39,8 +47,19 @@ func NewStore(capacity int) *Store {
 	}
 }
 
+// NewStore3 returns a 3D store (with the Z column) of the given capacity.
+func NewStore3(capacity int) *Store {
+	s := NewStore(capacity)
+	s.Z = make([]float64, capacity)
+	return s
+}
+
 // Len returns the number of live particles.
 func (s *Store) Len() int { return s.n }
+
+// SetLen declares the first n slots live — the receiving buffer of a
+// full-store scatter uses this after its payload is written.
+func (s *Store) SetLen(n int) { s.n = n }
 
 // Cap returns the store capacity.
 func (s *Store) Cap() int { return len(s.X) }
@@ -75,12 +94,33 @@ func (s *Store) RemoveSwap(i int) {
 	last := s.n - 1
 	if i != last {
 		s.X[i], s.Y[i] = s.X[last], s.Y[last]
+		if s.Z != nil {
+			s.Z[i] = s.Z[last]
+		}
 		s.U[i], s.V[i], s.W[i] = s.U[last], s.V[last], s.W[last]
 		s.R1[i], s.R2[i] = s.R1[last], s.R2[last]
 		s.Evib[i] = s.Evib[last]
 		s.Cell[i] = s.Cell[last]
 	}
 	s.n = last
+}
+
+// Swap exchanges the physical payload of particles i and j (position,
+// velocity components, vibrational energy). Cell is NOT swapped: the
+// in-cell shuffle only ever swaps records inside one cell span, where the
+// indices are equal by the cell-major invariant.
+func (s *Store) Swap(i, j int) {
+	s.X[i], s.X[j] = s.X[j], s.X[i]
+	s.Y[i], s.Y[j] = s.Y[j], s.Y[i]
+	if s.Z != nil {
+		s.Z[i], s.Z[j] = s.Z[j], s.Z[i]
+	}
+	s.U[i], s.U[j] = s.U[j], s.U[i]
+	s.V[i], s.V[j] = s.V[j], s.V[i]
+	s.W[i], s.W[j] = s.W[j], s.W[i]
+	s.R1[i], s.R1[j] = s.R1[j], s.R1[i]
+	s.R2[i], s.R2[j] = s.R2[j], s.R2[i]
+	s.Evib[i], s.Evib[j] = s.Evib[j], s.Evib[i]
 }
 
 // Reset empties the store without releasing memory.

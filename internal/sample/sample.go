@@ -58,17 +58,18 @@ func (a *Accumulator) AddFlow(st *particle.Store) {
 	a.Steps++
 }
 
-// AddFlowOrdered accumulates one snapshot using the cell-bucketed
-// ordering produced by the step's sort: order[cellStart[c]:cellStart[c+1]]
-// lists the particles of cell c. parFor shards the cell range (pass a
-// serial loop or a worker pool's For); workers touch disjoint cells and
-// the per-cell summation order follows the given ordering, so the
+// AddFlowCellMajor accumulates one snapshot of a cell-major store (the
+// layout the step's sort produces): cell c's particles are the contiguous
+// store indices [cellStart[c], cellStart[c+1]), so each cell's moments
+// stream a contiguous slice of every column. parFor shards the cell range
+// (pass a serial loop or a worker pool's For); workers touch disjoint
+// cells and the per-cell summation order follows the store order, so the
 // accumulation is race-free and bit-identical for any sharding.
-func (a *Accumulator) AddFlowOrdered(st *particle.Store, order, cellStart []int32, parFor func(n int, f func(lo, hi int))) {
+func (a *Accumulator) AddFlowCellMajor(st *particle.Store, cellStart []int32, parFor func(n int, f func(lo, hi int))) {
 	parFor(len(cellStart)-1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
-			for _, oi := range order[cellStart[c]:cellStart[c+1]] {
-				a.addParticle(st, int32(c), int(oi))
+			for i := int(cellStart[c]); i < int(cellStart[c+1]); i++ {
+				a.addParticle(st, int32(c), i)
 			}
 		}
 	})

@@ -145,30 +145,50 @@ func (p Phase) String() string {
 // epoch for rng.StreamAt, so no stream is ever reused across phases.
 const (
 	domainSort    = iota // in-cell shuffle (lane = cell)
-	domainCollide        // selection + collision (lane = cell)
+	domainSelect         // candidate selection (lane = cell)
+	domainCollide        // collision of accepted pairs (lane = cell)
 	domainWall           // diffuse wall re-emission (lane = particle)
 	numDomains
 )
 
 // Sim is a running wind-tunnel simulation.
+//
+// The particle store is kept cell-major: every step the sort's scatter
+// writes the payload into the shadow store at its cell-major position and
+// the two buffers are swapped, so the select/collide/sample sweeps walk
+// contiguous cellStart[c]:cellStart[c+1] ranges of the arrays with no
+// index indirection. All dispatch closures and per-worker scratch are
+// built once at construction; a steady-state Step performs zero heap
+// allocations.
 type Sim struct {
 	cfg  Config
 	tun  geom.Tunnel
 	grid grid.Grid
 	vols []float64
 
-	store *particle.Store
-	res   *particle.Reservoir
-	rule  collide.Rule
-	bm    *baseline.BM
+	store  *particle.Store // live buffer, cell-major after each sort
+	shadow *particle.Store // scatter target, swapped with store each step
+	res    *particle.Reservoir
+	resCap int // resolved reservoir capacity (Config default applied)
+	rule   collide.Rule
+	bm     *baseline.BM
 
 	r        rng.Stream
 	plungerX float64
+	uInf     float64
 	step     int
 
 	pool   *par.Pool
 	sorter *par.CellSort
-	order  []int32
+
+	// Prebuilt shard bodies: building them once keeps the pool dispatch
+	// in Step allocation-free (a func literal created per call would
+	// escape to the heap).
+	fnMoveBound func(w, lo, hi int)
+	fnSelCol    func(w, lo, hi int)
+	fnScheme    func(w, lo, hi int)
+	cellOfFn    func(i int) int32
+	swapFn      func(i, j int)
 
 	// per-worker scratch, indexed by the pool's block index
 	exits    [][]int32          // downstream-exit lists
@@ -182,7 +202,10 @@ type Sim struct {
 	collisions int64
 }
 
-type pairPick struct{ a, b int32 }
+// pairPick records an accepted candidate pair: the particles at indices
+// a and a+1 of the cell-major store, in cell c (the collide pass
+// re-derives cell c's stream when c changes).
+type pairPick struct{ a, c int32 }
 
 // New builds a simulation from the configuration.
 func New(cfg Config) (*Sim, error) {
@@ -209,13 +232,16 @@ func New(cfg Config) (*Sim, error) {
 	capacity := flowTarget + resCap + flowTarget/8
 
 	s := &Sim{
-		cfg:   cfg,
-		tun:   geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge},
-		grid:  g,
-		vols:  vols,
-		store: particle.NewStore(capacity),
-		res:   particle.NewReservoir(resCap, cfg.Free.ComponentSigma()),
-		r:     rng.NewStream(cfg.Seed),
+		cfg:    cfg,
+		tun:    geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge},
+		grid:   g,
+		vols:   vols,
+		store:  particle.NewStore(capacity),
+		shadow: particle.NewStore(capacity),
+		res:    particle.NewReservoir(resCap, cfg.Free.ComponentSigma()),
+		resCap: resCap,
+		r:      rng.NewStream(cfg.Seed),
+		uInf:   cfg.Free.Velocity(),
 		rule: collide.Rule{
 			Model:      cfg.Model,
 			PInf:       cfg.Free.SelectionPInf(),
@@ -233,9 +259,27 @@ func New(cfg Config) (*Sim, error) {
 	s.exits = make([][]int32, w)
 	s.scratchW = make([][]collide.State5, w)
 	s.picksW = make([][]pairPick, w)
+	// A worker's exit list can never exceed its block span, so sizing it
+	// to the largest possible span means it never grows — one of the
+	// pre-sizings behind the zero-allocation steady-state Step. The pick
+	// buffers get the balanced-load bound (n/2 pairs split w ways); a
+	// pathologically imbalanced flow could grow one once, after which it
+	// too is stable.
+	blockCap := s.pool.BlockStep(capacity)
+	for b := 0; b < w; b++ {
+		s.exits[b] = make([]int32, 0, blockCap)
+		s.picksW[b] = make([]pairPick, 0, capacity/(2*w)+64)
+	}
 	s.selW = make([]time.Duration, w)
 	s.colW = make([]time.Duration, w)
 	s.colls = make([]int64, w)
+	s.fnMoveBound = s.moveBoundShard
+	s.fnSelCol = s.selColShard
+	s.fnScheme = s.schemeShard
+	s.cellOfFn = func(i int) int32 {
+		return int32(s.grid.CellOf(s.store.X[i], s.store.Y[i]))
+	}
+	s.swapFn = func(i, j int) { s.store.Swap(i, j) }
 
 	// Fill the tunnel with freestream gas and bank the paper's ~10% extra
 	// in the reservoir.
@@ -246,7 +290,6 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("sim: store capacity exhausted at %d of %d particles", placed, flowTarget)
 	}
 	s.res.DepositN(resCap*3/4, &s.r)
-	s.order = make([]int32, s.store.Cap())
 	if cfg.ZVib > 0 {
 		s.initVibEquilibrium(0, s.store.Len())
 	}
@@ -320,8 +363,7 @@ func (s *Sim) PhaseTimes() map[string]time.Duration {
 // Step advances the simulation one time step through the four sub-steps.
 func (s *Sim) Step() {
 	t0 := time.Now()
-	s.move()
-	s.boundaries()
+	s.moveBoundaries()
 	t1 := time.Now()
 	s.phaseTime[PhaseMove] += t1.Sub(t0)
 	s.sortByCell()
@@ -339,47 +381,17 @@ func (s *Sim) Run(n int) {
 	}
 }
 
-// move performs the collisionless motion: every particle adds its velocity
-// components to its position (eq. 2), sharded over contiguous particle
-// chunks, and the plunger advances with the freestream.
-func (s *Sim) move() {
-	st := s.store
-	s.pool.For(st.Len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			st.X[i] += st.U[i]
-			st.Y[i] += st.V[i]
-		}
-	})
-	s.plungerX += s.cfg.Free.Velocity()
-}
-
-// boundaries enforces all boundary conditions: the downstream soft sink
-// (into the reservoir), the upstream plunger, the hard tunnel walls, and
-// the wedge. The reflective treatment is sharded over contiguous particle
-// chunks (diffuse re-emission draws from per-particle streams); exiting
+// moveBoundaries performs the collisionless motion (eq. 2) and enforces
+// all boundary conditions — the downstream soft sink (into the
+// reservoir), the upstream plunger, the hard tunnel walls, and the wedge
+// — fused into a single sharded pass over the particle arrays (the two
+// phases used to be separate full traversals of X/Y/U/V). Exiting
 // particles are only recorded in per-worker lists and removed afterwards,
 // so the parallel pass never mutates the store's membership. Finally the
 // plunger trigger is checked and the void refilled.
-func (s *Sim) boundaries() {
-	st := s.store
-	uInf := s.cfg.Free.Velocity()
-	s.pool.ForIdx(st.Len(), func(w, lo, hi int) {
-		ex := s.exits[w][:0]
-		for i := lo; i < hi; i++ {
-			// Downstream sink: record for removal.
-			if st.X[i] > s.tun.W {
-				ex = append(ex, int32(i))
-				continue
-			}
-			// Upstream plunger: specular reflection in the plunger frame.
-			if st.X[i] < s.plungerX {
-				st.X[i] = 2*s.plungerX - st.X[i]
-				st.U[i] = 2*uInf - st.U[i]
-			}
-			s.reflectWalls(i)
-		}
-		s.exits[w] = ex
-	})
+func (s *Sim) moveBoundaries() {
+	s.plungerX += s.uInf
+	s.pool.ForIdx(s.store.Len(), s.fnMoveBound)
 	// Remove in descending index order: every particle swapped in from the
 	// end is then a survivor that already received its boundary treatment.
 	for w := len(s.exits) - 1; w >= 0; w-- {
@@ -393,20 +405,39 @@ func (s *Sim) boundaries() {
 	}
 }
 
+func (s *Sim) moveBoundShard(w, lo, hi int) {
+	st := s.store
+	px := s.plungerX
+	uInf := s.uInf
+	ex := s.exits[w][:0]
+	for i := lo; i < hi; i++ {
+		x := st.X[i] + st.U[i]
+		st.X[i] = x
+		st.Y[i] += st.V[i]
+		// Downstream sink: record for removal.
+		if x > s.tun.W {
+			ex = append(ex, int32(i))
+			continue
+		}
+		// Upstream plunger: specular reflection in the plunger frame.
+		if x < px {
+			st.X[i] = 2*px - x
+			st.U[i] = 2*uInf - st.U[i]
+		}
+		s.reflectWalls(i)
+	}
+	s.exits[w] = ex
+}
+
 // depositToReservoir moves particle i into the reservoir (velocity is
-// re-drawn there from the rectangular distribution).
+// re-drawn there from the rectangular distribution). The resolved
+// capacity bound keeps the reservoir slice at its construction size, so
+// deposits never re-allocate.
 func (s *Sim) depositToReservoir(i int) {
-	if s.res.Len() < s.cfg.reservoirCap() {
+	if s.res.Len() < s.resCap {
 		s.res.Deposit(&s.r)
 	}
 	s.store.RemoveSwap(i)
-}
-
-func (c *Config) reservoirCap() int {
-	if c.ReservoirCapacity > 0 {
-		return c.ReservoirCapacity
-	}
-	return 1 << 30
 }
 
 // reflectWalls applies the hard-wall and wedge interactions for particle i.
@@ -470,7 +501,7 @@ func (s *Sim) refillVoid() {
 	s.plungerX = 0
 	area := void * s.tun.H
 	want := int(area*s.cfg.NPerCell + 0.5)
-	uInf := s.cfg.Free.Velocity()
+	uInf := s.uInf
 	sigma := s.cfg.Free.ComponentSigma()
 	for k := 0; k < want; k++ {
 		x := s.r.Float64() * void
@@ -497,55 +528,36 @@ func (s *Sim) refillVoid() {
 	}
 }
 
-// sortByCell computes every particle's cell index and produces a
-// cell-bucketed ordering with random order inside each cell — the role of
-// the paper's sort with the scaled-and-dithered key. The serial analogue
-// is an O(N) counting sort; par.CellSort shards the histogram and the
-// stable scatter over contiguous particle chunks and the in-cell shuffle
-// over cell ranges with per-cell streams.
+// sortByCell makes the store cell-major: every particle's cell index is
+// computed, the stable scatter writes the full payload into the shadow
+// store at its cell-major position, the buffers are swapped — sort and
+// physical reorder fused into one sharded pass — and the records inside
+// each cell span are shuffled in place (the role of the paper's sort with
+// the scaled-and-dithered key, candidates re-randomised every step).
+// After this, cell c's particles are the contiguous index range
+// cellStart[c]:cellStart[c+1] of the arrays.
 func (s *Sim) sortByCell() {
 	st := s.store
-	s.sorter.Sort(st.Len(), st.Cell, s.order, func(i int) int32 {
-		return int32(s.grid.CellOf(st.X[i], st.Y[i]))
-	})
-	s.sorter.Shuffle(s.order, s.cfg.Seed, s.epoch(domainSort))
+	s.sorter.Plan(st.Len(), st.Cell, s.cellOfFn)
+	s.sorter.ScatterStore(st, s.shadow)
+	s.store, s.shadow = s.shadow, s.store
+	s.sorter.Shuffle(s.cfg.Seed, s.epoch(domainSort), s.swapFn)
 }
 
-// selectAndCollide pairs candidates even/odd within each cell, applies the
-// selection rule, and collides accepted pairs. The work is sharded over
-// cell ranges: cells touch disjoint particles (via the sort order) and
-// each draws from its own stream, so any worker count produces identical
-// collisions. Selection and collision times are accounted separately to
-// reproduce the paper's breakdown.
+// selectAndCollide pairs adjacent candidates within each cell-major span,
+// applies the selection rule, and collides accepted pairs. The work is
+// sharded over cell ranges: cells own disjoint contiguous index ranges
+// and each draws from its own streams, so any worker count produces
+// identical collisions. Each shard runs selection over all its cells
+// first and then collides the accepted pairs, so the paper's
+// select/collide breakdown costs three clock reads per shard instead of
+// two per non-empty cell.
 func (s *Sim) selectAndCollide() {
-	st := s.store
-	cellStart := s.sorter.CellStart()
-	nc := len(cellStart) - 1
+	nc := s.grid.Cells()
 	if s.cfg.Scheme != nil {
 		// Pluggable scheme path (baselines): gather cells, delegate.
 		t0 := time.Now()
-		s.pool.ForIdx(nc, func(w, clo, chi int) {
-			var coll int64
-			for c := clo; c < chi; c++ {
-				lo, hi := cellStart[c], cellStart[c+1]
-				if hi-lo < 2 {
-					continue
-				}
-				if cap(s.scratchW[w]) < int(hi-lo) {
-					s.scratchW[w] = make([]collide.State5, hi-lo)
-				}
-				cellParts := s.scratchW[w][:hi-lo]
-				for k, oi := range s.order[lo:hi] {
-					cellParts[k] = st.Vel(int(oi))
-				}
-				r := s.phaseStream(domainCollide, c)
-				coll += int64(s.cfg.Scheme.CollideCell(cellParts, s.vols[c], s.rule, &r))
-				for k, oi := range s.order[lo:hi] {
-					st.SetVel(int(oi), cellParts[k])
-				}
-			}
-			s.colls[w] = coll
-		})
+		s.pool.ForIdx(nc, s.fnScheme)
 		for _, c := range s.colls {
 			s.collisions += c
 		}
@@ -553,49 +565,7 @@ func (s *Sim) selectAndCollide() {
 		return
 	}
 	// Default McDonald–Baganoff path, operating in place.
-	s.pool.ForIdx(nc, func(w, clo, chi int) {
-		var tSel, tCol time.Duration
-		var coll int64
-		picks := s.picksW[w][:0]
-		for c := clo; c < chi; c++ {
-			lo, hi := cellStart[c], cellStart[c+1]
-			cnt := int(hi - lo)
-			if cnt < 2 {
-				continue
-			}
-			r := s.phaseStream(domainCollide, c)
-			t0 := time.Now()
-			picks = picks[:0]
-			for k := int32(0); k+1 < int32(cnt); k += 2 {
-				ia, ib := s.order[lo+k], s.order[lo+k+1]
-				va := st.Vel(int(ia))
-				vb := st.Vel(int(ib))
-				g := collide.TransRelSpeed(&va, &vb)
-				p := s.rule.Prob(cnt, s.vols[c], g)
-				if p == 1 || r.Float64() < p {
-					picks = append(picks, pairPick{ia, ib})
-				}
-			}
-			t1 := time.Now()
-			tSel += t1.Sub(t0)
-			for _, pk := range picks {
-				va := st.Vel(int(pk.a))
-				vb := st.Vel(int(pk.b))
-				perm := rng.RandomPerm5(s.bm.Table, &r)
-				collide.Collide(&va, &vb, perm, r.Uint32())
-				if s.cfg.ZVib > 0 {
-					s.vibExchange(&va, &vb, int(pk.a), int(pk.b), &r)
-				}
-				st.SetVel(int(pk.a), va)
-				st.SetVel(int(pk.b), vb)
-				coll++
-			}
-			tCol += time.Since(t1)
-		}
-		s.picksW[w] = picks[:0]
-		s.selW[w], s.colW[w] = tSel, tCol
-		s.colls[w] = coll
-	})
+	s.pool.ForIdx(nc, s.fnSelCol)
 	// A concurrent section's wall time is its slowest shard; if the pool
 	// fell back to serial dispatch the shards ran back-to-back and their
 	// times add instead. Per-worker times are written before the pool's
@@ -605,6 +575,90 @@ func (s *Sim) selectAndCollide() {
 	for _, c := range s.colls {
 		s.collisions += c
 	}
+}
+
+// selColShard is one worker's cell range of the default select+collide
+// path. Selection streams the velocity columns of the shard's contiguous
+// particle range once, recording accepted pairs; the collide sub-loop
+// then revisits only the accepted records. Selection and collision draw
+// from distinct per-cell stream domains so the two sub-loops stay
+// deterministic for any worker count.
+func (s *Sim) selColShard(w, clo, chi int) {
+	st := s.store
+	cellStart := s.sorter.CellStart()
+	zvib := s.cfg.ZVib > 0
+	t0 := time.Now()
+	picks := s.picksW[w][:0]
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		cnt := hi - lo
+		if cnt < 2 {
+			continue
+		}
+		r := s.phaseStream(domainSelect, c)
+		vol := s.vols[c]
+		for a := lo; a+1 < hi; a += 2 {
+			du := st.U[a] - st.U[a+1]
+			dv := st.V[a] - st.V[a+1]
+			dw := st.W[a] - st.W[a+1]
+			g := math.Sqrt(du*du + dv*dv + dw*dw)
+			p := s.rule.Prob(cnt, vol, g)
+			if p == 1 || r.Float64() < p {
+				picks = append(picks, pairPick{int32(a), int32(c)})
+			}
+		}
+	}
+	t1 := time.Now()
+	var r rng.Stream
+	cur := int32(-1)
+	var coll int64
+	for _, pk := range picks {
+		if pk.c != cur {
+			cur = pk.c
+			r = s.phaseStream(domainCollide, int(cur))
+		}
+		ia, ib := int(pk.a), int(pk.a)+1
+		va, vb := st.Vel(ia), st.Vel(ib)
+		perm := rng.RandomPerm5(s.bm.Table, &r)
+		collide.Collide(&va, &vb, perm, r.Uint32())
+		if zvib {
+			s.vibExchange(&va, &vb, ia, ib, &r)
+		}
+		st.SetVel(ia, va)
+		st.SetVel(ib, vb)
+		coll++
+	}
+	s.picksW[w] = picks
+	s.selW[w], s.colW[w] = t1.Sub(t0), time.Since(t1)
+	s.colls[w] = coll
+}
+
+// schemeShard is one worker's cell range of the pluggable-scheme path:
+// each cell span is copied contiguously into the worker's scratch buffer,
+// handed to the scheme, and written back.
+func (s *Sim) schemeShard(w, clo, chi int) {
+	st := s.store
+	cellStart := s.sorter.CellStart()
+	var coll int64
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		if hi-lo < 2 {
+			continue
+		}
+		if cap(s.scratchW[w]) < hi-lo {
+			s.scratchW[w] = make([]collide.State5, hi-lo)
+		}
+		cellParts := s.scratchW[w][:hi-lo]
+		for k := range cellParts {
+			cellParts[k] = st.Vel(lo + k)
+		}
+		r := s.phaseStream(domainCollide, c)
+		coll += int64(s.cfg.Scheme.CollideCell(cellParts, s.vols[c], s.rule, &r))
+		for k := range cellParts {
+			st.SetVel(lo+k, cellParts[k])
+		}
+	}
+	s.colls[w] = coll
 }
 
 func shardWall(concurrent bool, ds []time.Duration) time.Duration {
@@ -663,17 +717,23 @@ func (s *Sim) TotalVibEnergy() float64 {
 // sort of the latest step) for samplers.
 func (s *Sim) CellCounts() []int32 { return s.sorter.Counts() }
 
+// CellStart returns the cell-major bucket boundaries of the latest sort:
+// cell c's particles are store indices [CellStart()[c], CellStart()[c+1]).
+func (s *Sim) CellStart() []int32 { return s.sorter.CellStart() }
+
 // TotalEnergy returns the flow's total velocity-square sum (diagnostic).
 func (s *Sim) TotalEnergy() float64 { return s.store.TotalEnergy() }
 
-// Store exposes the particle store for diagnostics and samplers.
+// Store exposes the particle store for diagnostics and samplers. The
+// double-buffer swap makes the pointer alternate between two buffers, so
+// re-fetch it after every Step rather than holding it across steps.
 func (s *Sim) Store() *particle.Store { return s.store }
 
 // SampleInto accumulates the current snapshot into acc, sharded over cell
 // ranges on the simulation's worker pool. Valid after a completed step
-// (the cell ordering of the latest sort must be current). The per-cell
-// accumulation order follows the sort order, so the sums are bit-identical
-// for any worker count.
+// (the cell-major layout of the latest sort must be current). The
+// per-cell accumulation order follows the store order, so the sums are
+// bit-identical for any worker count.
 func (s *Sim) SampleInto(acc *sample.Accumulator) {
-	acc.AddFlowOrdered(s.store, s.order, s.sorter.CellStart(), s.pool.For)
+	acc.AddFlowCellMajor(s.store, s.sorter.CellStart(), s.pool.For)
 }

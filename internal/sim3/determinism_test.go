@@ -38,14 +38,16 @@ func TestParallelDeterminism3D(t *testing.T) {
 	if s1.N() != s8.N() {
 		t.Fatalf("particle count: %d vs %d", s1.N(), s8.N())
 	}
+	a, b := s1.Store(), s8.Store()
 	for i := 0; i < s1.N(); i++ {
-		if math.Float64bits(s1.x[i]) != math.Float64bits(s8.x[i]) ||
-			math.Float64bits(s1.y[i]) != math.Float64bits(s8.y[i]) ||
-			math.Float64bits(s1.z[i]) != math.Float64bits(s8.z[i]) {
+		if math.Float64bits(a.X[i]) != math.Float64bits(b.X[i]) ||
+			math.Float64bits(a.Y[i]) != math.Float64bits(b.Y[i]) ||
+			math.Float64bits(a.Z[i]) != math.Float64bits(b.Z[i]) {
 			t.Fatalf("position diverged at particle %d", i)
 		}
+		va, vb := a.Vel(i), b.Vel(i)
 		for k := 0; k < 5; k++ {
-			if math.Float64bits(s1.vel[i][k]) != math.Float64bits(s8.vel[i][k]) {
+			if math.Float64bits(va[k]) != math.Float64bits(vb[k]) {
 				t.Fatalf("velocity component %d diverged at particle %d", k, i)
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"dsmc/internal/collide"
 	"dsmc/internal/molec"
 	"dsmc/internal/par"
+	"dsmc/internal/particle"
 	"dsmc/internal/phys"
 	"dsmc/internal/rng"
 )
@@ -106,14 +107,18 @@ func (c *Config) model() molec.Model {
 	return c.Model
 }
 
-// Sim is a running 3D shock-tube simulation.
+// Sim is a running 3D shock-tube simulation. Like the 2D reference
+// backend, the particle store is kept cell-major: each step the sort's
+// scatter writes the payload into the shadow store and the buffers swap,
+// so the collide sweep walks contiguous cell spans with no indirection,
+// and a steady-state Step performs zero heap allocations (all dispatch
+// closures and scratch are built at construction).
 type Sim struct {
 	cfg  Config
 	grid Grid3
 
-	x, y, z []float64
-	vel     []collide.State5
-	cell    []int32
+	store  *particle.Store // 3D store (Z column), cell-major after each sort
+	shadow *particle.Store // scatter target, swapped with store each step
 
 	rule    collide.Rule
 	table   []rng.Perm5
@@ -123,9 +128,14 @@ type Sim struct {
 
 	pool     *par.Pool
 	sorter   *par.CellSort
-	order    []int32
 	colls    []int64
 	collided int64
+
+	// Prebuilt shard bodies for allocation-free pool dispatch.
+	fnMove   func(w, lo, hi int)
+	fnSelCol func(w, clo, chi int)
+	cellOfFn func(i int) int32
+	swapFn   func(i, j int)
 }
 
 // The per-step stream domains of the 3D backend (epochs for rng.StreamAt).
@@ -157,11 +167,10 @@ func New(cfg Config) (*Sim, error) {
 	n := int(cfg.NPerCell * float64(g.Cells()))
 	free := phys.Freestream{Mach: 2, Cm: cfg.Cm, Lambda: cfg.Lambda, Gamma: model.Gamma()}
 	s := &Sim{
-		cfg:  cfg,
-		grid: g,
-		x:    make([]float64, n), y: make([]float64, n), z: make([]float64, n),
-		vel:  make([]collide.State5, n),
-		cell: make([]int32, n),
+		cfg:    cfg,
+		grid:   g,
+		store:  particle.NewStore3(n),
+		shadow: particle.NewStore3(n),
 		rule: collide.Rule{
 			Model:      model,
 			PInf:       free.SelectionPInf(),
@@ -172,24 +181,41 @@ func New(cfg Config) (*Sim, error) {
 		table: rng.Perm5Table(),
 		r:     rng.NewStream(cfg.Seed),
 		pool:  par.New(cfg.Workers),
-		order: make([]int32, n),
 	}
 	s.sorter = par.NewCellSort(s.pool, g.Cells())
 	s.colls = make([]int64, s.pool.Workers())
+	s.fnMove = s.moveShard
+	s.fnSelCol = s.selColShard
+	s.cellOfFn = func(i int) int32 {
+		st := s.store
+		return int32(s.grid.CellOf(st.X[i], st.Y[i], st.Z[i]))
+	}
+	s.swapFn = func(i, j int) { s.store.Swap(i, j) }
 	sigma := free.ComponentSigma()
-	for i := range s.x {
-		s.x[i] = s.r.Float64() * float64(cfg.NX)
-		s.y[i] = s.r.Float64() * float64(cfg.NY)
-		s.z[i] = s.r.Float64() * float64(cfg.NZ)
-		for k := 0; k < 5; k++ {
-			s.vel[i][k] = s.r.Gaussian(0, sigma)
-		}
+	st := s.store
+	st.SetLen(n)
+	for i := 0; i < n; i++ {
+		st.X[i] = s.r.Float64() * float64(cfg.NX)
+		st.Y[i] = s.r.Float64() * float64(cfg.NY)
+		st.Z[i] = s.r.Float64() * float64(cfg.NZ)
+		st.SetVel(i, collide.State5{
+			s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
+			s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
+		})
 	}
 	return s, nil
 }
 
 // N returns the particle count.
-func (s *Sim) N() int { return len(s.x) }
+func (s *Sim) N() int { return s.store.Len() }
+
+// Store exposes the particle store for diagnostics. The double-buffer
+// swap makes the pointer alternate between two buffers, so re-fetch it
+// after every Step rather than holding it across steps.
+func (s *Sim) Store() *particle.Store { return s.store }
+
+// CellStart returns the cell-major bucket boundaries of the latest sort.
+func (s *Sim) CellStart() []int32 { return s.sorter.CellStart() }
 
 // PistonX returns the piston position.
 func (s *Sim) PistonX() float64 { return s.pistonX }
@@ -223,95 +249,111 @@ func (s *Sim) Run(n int) {
 // walls, sharded over contiguous particle chunks (the 3D boundaries
 // consume no randomness, so the shard is trivially deterministic).
 func (s *Sim) move() {
+	s.pistonX += s.cfg.PistonSpeed
+	s.pool.ForIdx(s.store.Len(), s.fnMove)
+}
+
+func (s *Sim) moveShard(_, lo, hi int) {
+	st := s.store
 	w := float64(s.cfg.NX)
 	h := float64(s.cfg.NY)
 	d := float64(s.cfg.NZ)
-	s.pistonX += s.cfg.PistonSpeed
+	px := s.pistonX
 	up2 := 2 * s.cfg.PistonSpeed
-	s.pool.For(len(s.x), func(plo, phi int) {
-		for i := plo; i < phi; i++ {
-			s.x[i] += s.vel[i][0]
-			s.y[i] += s.vel[i][1]
-			s.z[i] += s.vel[i][2]
-			// Piston face (specular in the piston frame) and far wall.
-			if s.x[i] < s.pistonX {
-				s.x[i] = 2*s.pistonX - s.x[i]
-				s.vel[i][0] = up2 - s.vel[i][0]
-			}
-			if s.x[i] > w {
-				s.x[i] = 2*w - s.x[i]
-				if s.vel[i][0] > 0 {
-					s.vel[i][0] = -s.vel[i][0]
-				}
-			}
-			// Side walls.
-			if s.y[i] < 0 {
-				s.y[i] = -s.y[i]
-				s.vel[i][1] = -s.vel[i][1]
-			}
-			if s.y[i] > h {
-				s.y[i] = 2*h - s.y[i]
-				s.vel[i][1] = -s.vel[i][1]
-			}
-			if s.z[i] < 0 {
-				s.z[i] = -s.z[i]
-				s.vel[i][2] = -s.vel[i][2]
-			}
-			if s.z[i] > d {
-				s.z[i] = 2*d - s.z[i]
-				s.vel[i][2] = -s.vel[i][2]
+	for i := lo; i < hi; i++ {
+		st.X[i] += st.U[i]
+		st.Y[i] += st.V[i]
+		st.Z[i] += st.W[i]
+		// Piston face (specular in the piston frame) and far wall.
+		if st.X[i] < px {
+			st.X[i] = 2*px - st.X[i]
+			st.U[i] = up2 - st.U[i]
+		}
+		if st.X[i] > w {
+			st.X[i] = 2*w - st.X[i]
+			if st.U[i] > 0 {
+				st.U[i] = -st.U[i]
 			}
 		}
-	})
+		// Side walls.
+		if st.Y[i] < 0 {
+			st.Y[i] = -st.Y[i]
+			st.V[i] = -st.V[i]
+		}
+		if st.Y[i] > h {
+			st.Y[i] = 2*h - st.Y[i]
+			st.V[i] = -st.V[i]
+		}
+		if st.Z[i] < 0 {
+			st.Z[i] = -st.Z[i]
+			st.W[i] = -st.W[i]
+		}
+		if st.Z[i] > d {
+			st.Z[i] = 2*d - st.Z[i]
+			st.W[i] = -st.W[i]
+		}
+	}
 }
 
-// sortByCell is the 3D instantiation of the shared sharded counting sort
+// sortByCell makes the 3D store cell-major via the shared fused sort
 // (par.CellSort): per-worker histograms over particle chunks, a stable
-// sharded scatter, and a per-cell-stream shuffle over cell ranges.
+// sharded scatter of the full payload into the shadow store, a buffer
+// swap, and a per-cell-stream in-place record shuffle over cell ranges.
 func (s *Sim) sortByCell() {
-	s.sorter.Sort(len(s.x), s.cell, s.order, func(i int) int32 {
-		return int32(s.grid.CellOf(s.x[i], s.y[i], s.z[i]))
-	})
-	s.sorter.Shuffle(s.order, s.cfg.Seed, s.epoch(domainSort))
+	st := s.store
+	s.sorter.Plan(st.Len(), st.Cell, s.cellOfFn)
+	s.sorter.ScatterStore(st, s.shadow)
+	s.store, s.shadow = s.shadow, s.store
+	s.sorter.Shuffle(s.cfg.Seed, s.epoch(domainSort), s.swapFn)
 }
 
 // selectAndCollide shards the cells over the pool; each cell collides
-// from its own stream and cells touch disjoint particles.
+// from its own stream and owns a disjoint contiguous particle range of
+// the cell-major store.
 func (s *Sim) selectAndCollide() {
-	cellStart := s.sorter.CellStart()
-	s.pool.ForIdx(len(cellStart)-1, func(w, clo, chi int) {
-		var coll int64
-		for c := clo; c < chi; c++ {
-			lo, hi := cellStart[c], cellStart[c+1]
-			cnt := int(hi - lo)
-			if cnt < 2 {
-				continue
-			}
-			r := s.phaseStream(domainCollide, c)
-			for k := int32(0); k+1 < int32(cnt); k += 2 {
-				ia, ib := int(s.order[lo+k]), int(s.order[lo+k+1])
-				g := collide.TransRelSpeed(&s.vel[ia], &s.vel[ib])
-				p := s.rule.Prob(cnt, 1, g)
-				if p == 1 || r.Float64() < p {
-					perm := rng.RandomPerm5(s.table, &r)
-					collide.Collide(&s.vel[ia], &s.vel[ib], perm, r.Uint32())
-					coll++
-				}
-			}
-		}
-		s.colls[w] = coll
-	})
+	s.pool.ForIdx(s.grid.Cells(), s.fnSelCol)
 	for _, c := range s.colls {
 		s.collided += c
 	}
+}
+
+func (s *Sim) selColShard(w, clo, chi int) {
+	st := s.store
+	cellStart := s.sorter.CellStart()
+	var coll int64
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		cnt := hi - lo
+		if cnt < 2 {
+			continue
+		}
+		r := s.phaseStream(domainCollide, c)
+		for a := lo; a+1 < hi; a += 2 {
+			du := st.U[a] - st.U[a+1]
+			dv := st.V[a] - st.V[a+1]
+			dw := st.W[a] - st.W[a+1]
+			g := math.Sqrt(du*du + dv*dv + dw*dw)
+			p := s.rule.Prob(cnt, 1, g)
+			if p == 1 || r.Float64() < p {
+				va, vb := st.Vel(a), st.Vel(a+1)
+				perm := rng.RandomPerm5(s.table, &r)
+				collide.Collide(&va, &vb, perm, r.Uint32())
+				st.SetVel(a, va)
+				st.SetVel(a+1, vb)
+				coll++
+			}
+		}
+	}
+	s.colls[w] = coll
 }
 
 // DensityProfile returns the particle density along x (averaged over the
 // cross-section), normalised by the initial density.
 func (s *Sim) DensityProfile() []float64 {
 	prof := make([]float64, s.cfg.NX)
-	for i := range s.x {
-		ix := int(s.x[i])
+	st := s.store
+	for i := 0; i < st.Len(); i++ {
+		ix := int(st.X[i])
 		if ix < 0 {
 			ix = 0
 		}
@@ -372,11 +414,12 @@ func (s *Sim) PostShockDensity() float64 {
 // TotalEnergyAndMomentum returns the conservation diagnostics (the piston
 // does work, so energy grows; y/z momentum must stay near zero).
 func (s *Sim) TotalEnergyAndMomentum() (energy, py, pz float64) {
-	for i := range s.vel {
-		v := &s.vel[i]
-		energy += v[0]*v[0] + v[1]*v[1] + v[2]*v[2] + v[3]*v[3] + v[4]*v[4]
-		py += v[1]
-		pz += v[2]
+	st := s.store
+	for i := 0; i < st.Len(); i++ {
+		energy += st.U[i]*st.U[i] + st.V[i]*st.V[i] + st.W[i]*st.W[i] +
+			st.R1[i]*st.R1[i] + st.R2[i]*st.R2[i]
+		py += st.V[i]
+		pz += st.W[i]
 	}
 	return energy, py, pz
 }

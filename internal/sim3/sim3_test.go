@@ -193,11 +193,12 @@ func TestStepAdvancesAndCounts(t *testing.T) {
 		t.Errorf("piston did not advance")
 	}
 	// All particles legal and ahead of the piston.
-	for i := range s.x {
-		if s.x[i] < s.PistonX()-1e-9 || s.x[i] > float64(cfg.NX) {
-			t.Fatalf("particle %d at x=%v outside [piston, wall]", i, s.x[i])
+	st := s.Store()
+	for i := 0; i < st.Len(); i++ {
+		if st.X[i] < s.PistonX()-1e-9 || st.X[i] > float64(cfg.NX) {
+			t.Fatalf("particle %d at x=%v outside [piston, wall]", i, st.X[i])
 		}
-		if s.y[i] < 0 || s.y[i] > float64(cfg.NY) || s.z[i] < 0 || s.z[i] > float64(cfg.NZ) {
+		if st.Y[i] < 0 || st.Y[i] > float64(cfg.NY) || st.Z[i] < 0 || st.Z[i] > float64(cfg.NZ) {
 			t.Fatalf("particle %d outside the box", i)
 		}
 	}
