@@ -1,10 +1,14 @@
 // Command bench runs the key step benchmarks outside `go test` and
 // writes a machine-readable record of the performance trajectory
-// (BENCH_PR2.json): wall-clock µs/particle/step for the paper's
-// near-continuum and rarefied cases plus the worker sweep at paper scale,
-// optionally compared against a previously recorded baseline file.
+// (BENCH_PR3.json): wall-clock µs/particle/step for the paper's
+// near-continuum and rarefied cases, a float32-vs-float64 precision
+// sweep over the engine backends, and the worker sweep at paper scale,
+// optionally compared against a previously recorded baseline file. The
+// record also flags whether the host is multi-core, so scaling numbers
+// from single-core CI hosts are not mistaken for the real worker-scaling
+// trajectory.
 //
-//	go run ./cmd/bench -out BENCH_PR2.json -baseline BENCH_PR1.json
+//	go run ./cmd/bench -out BENCH_PR3.json -baseline BENCH_PR2.json
 //	go run ./cmd/bench -quick   # CI smoke: few steps, still all cases
 package main
 
@@ -15,9 +19,11 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dsmc"
+	"dsmc/internal/kernel"
 	"dsmc/internal/par"
 	"dsmc/internal/sim3"
 )
@@ -29,14 +35,24 @@ type Record struct {
 	GeneratedUnix int64  `json:"generated_unix"`
 	Go            string `json:"go"`
 	CPUs          int    `json:"cpus"`
-	WarmSteps     int    `json:"warm_steps"`
-	MeasuredSteps int    `json:"measured_steps"`
-	Cases         []Case `json:"cases"`
+	// MultiCore records whether worker-sweep cases could actually run
+	// concurrently on this host; on a single-core machine the sweep
+	// measures dispatch overhead, not scaling.
+	MultiCore     bool `json:"multi_core"`
+	WarmSteps     int  `json:"warm_steps"`
+	MeasuredSteps int  `json:"measured_steps"`
+	// Repeat is the measurement-window count per case; the recorded
+	// time is the fastest window (robust against host noise).
+	Repeat int    `json:"repeat"`
+	Cases  []Case `json:"cases"`
 }
 
 // Case is one benchmark configuration's measurement.
 type Case struct {
-	Name              string  `json:"name"`
+	Name string `json:"name"`
+	// Precision is the storage precision of the engine backends
+	// ("float64" unless the case name carries a /f32 suffix).
+	Precision         string  `json:"precision,omitempty"`
 	Workers           int     `json:"workers"`
 	Particles         int     `json:"particles"`
 	NsPerStep         float64 `json:"ns_per_step"`
@@ -44,6 +60,9 @@ type Case struct {
 	// Set when -baseline names a file containing the same case.
 	BaselineUsPerParticleStep float64 `json:"baseline_us_per_particle_step,omitempty"`
 	SpeedupVsBaseline         float64 `json:"speedup_vs_baseline,omitempty"`
+	// Set on /f32 cases whose float64 twin is in the same record:
+	// float64 µs/particle/step divided by this case's.
+	SpeedupVsFloat64 float64 `json:"speedup_vs_float64,omitempty"`
 }
 
 type stepper interface {
@@ -51,16 +70,17 @@ type stepper interface {
 	NFlow() int
 }
 
-type sim3Adapter struct{ *sim3.Sim }
+type sim3Adapter[F kernel.Float] struct{ *sim3.SimOf[F] }
 
-func (a sim3Adapter) NFlow() int { return a.N() }
+func (a sim3Adapter[F]) NFlow() int { return a.N() }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier bench JSON to compute speedups against")
 	warm := flag.Int("warm", 30, "warm-up steps per case (past the initial transient)")
 	steps := flag.Int("steps", 40, "measured steps per case")
 	sweepPerCell := flag.Float64("sweep-percell", 75, "particles/cell of the worker sweep (75 = paper scale)")
+	repeat := flag.Int("repeat", 1, "measurement windows per case; the fastest is recorded (use 3+ on noisy hosts)")
 	quick := flag.Bool("quick", false, "CI smoke mode: 3 warm-up and 3 measured steps (unless -warm/-steps are given explicitly)")
 	flag.Parse()
 	if *quick {
@@ -86,41 +106,70 @@ func main() {
 		GeneratedUnix: time.Now().Unix(),
 		Go:            runtime.Version(),
 		CPUs:          runtime.NumCPU(),
+		MultiCore:     runtime.NumCPU() > 1,
 		WarmSteps:     *warm,
 		MeasuredSteps: *steps,
+		Repeat:        *repeat,
 	}
 
-	wedge := func(lambda, perCell float64, workers int) stepper {
+	wedge := func(lambda, perCell float64, workers int, prec dsmc.Precision) stepper {
 		cfg := dsmc.PaperConfig()
 		cfg.MeanFreePath = lambda
 		cfg.ParticlesPerCell = perCell
 		cfg.Workers = workers
 		cfg.Seed = 1988
+		cfg.Precision = prec
 		s, err := dsmc.NewSimulation(cfg)
 		if err != nil {
 			log.Fatalf("bench: %v", err)
 		}
 		return s
 	}
-
-	rec.add("fig1-near-continuum", 0, *warm, *steps, wedge(0, 8, 0))
-	rec.add("fig4-rarefied", 0, *warm, *steps, wedge(0.5, 8, 0))
-	rec.add("cray-surrogate-1worker", 1, *warm, *steps, wedge(0.5, 8, 1))
-	for _, w := range par.SweepWorkers() {
-		rec.add(fmt.Sprintf("step-worker-sweep/workers-%d", w), w,
-			*warm, *steps, wedge(0.5, *sweepPerCell, w))
-	}
-	for _, w := range par.SweepWorkers() {
-		s, err := sim3.New(sim3.Config{
+	tube3 := func(workers int) sim3.Config {
+		return sim3.Config{
 			NX: 160, NY: 16, NZ: 16,
 			Cm: 0.125, PistonSpeed: 0.131, NPerCell: 12, Seed: 3,
-			Workers: w,
-		})
+			Workers: workers,
+		}
+	}
+
+	// Established cases (names stable since PR 1/2 for baseline diffing;
+	// all float64).
+	rec.add("fig1-near-continuum", dsmc.Float64, 0, *warm, *steps, wedge(0, 8, 0, dsmc.Float64))
+	rec.addPair("fig4-rarefied", 0, *warm, *steps,
+		wedge(0.5, 8, 0, dsmc.Float64), wedge(0.5, 8, 0, dsmc.Float32))
+	rec.add("cray-surrogate-1worker", dsmc.Float64, 1, *warm, *steps, wedge(0.5, 8, 1, dsmc.Float64))
+	for _, w := range par.SweepWorkers() {
+		rec.add(fmt.Sprintf("step-worker-sweep/workers-%d", w), dsmc.Float64, w,
+			*warm, *steps, wedge(0.5, *sweepPerCell, w, dsmc.Float64))
+	}
+	for _, w := range par.SweepWorkers() {
+		s, err := sim3.New(tube3(w))
 		if err != nil {
 			log.Fatalf("bench: %v", err)
 		}
-		rec.add(fmt.Sprintf("shocktube3d/workers-%d", w), w, *warm, *steps, sim3Adapter{s})
+		rec.add(fmt.Sprintf("shocktube3d/workers-%d", w), dsmc.Float64, w, *warm, *steps, sim3Adapter[float64]{s})
 	}
+
+	// Precision sweep: the same configurations instantiated at both
+	// precisions and measured with interleaved windows (addPair), so host
+	// drift cannot masquerade as a precision effect. The paper-scale
+	// rarefied wedge is the headline case — its cell-major sweeps are
+	// memory-bound, exactly where halving the column width should pay.
+	rec.addPair("fig4-rarefied-paperscale", 1, *warm, *steps,
+		wedge(0.5, *sweepPerCell, 1, dsmc.Float64), wedge(0.5, *sweepPerCell, 1, dsmc.Float32))
+	s64, err := sim3.New(tube3(1))
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	s32, err := sim3.NewOf[float32](tube3(1))
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	rec.addPair("shocktube3d-1worker", 1, *warm, *steps,
+		sim3Adapter[float64]{s64}, sim3Adapter[float32]{s32})
+
+	rec.precisionSpeedups()
 
 	if *baseline != "" {
 		if err := rec.compare(*baseline); err != nil {
@@ -139,24 +188,96 @@ func main() {
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(rec.Cases))
 }
 
-// add warms a simulation up, times `steps` further steps, and appends the
-// measurement.
-func (rec *Record) add(name string, workers, warm, steps int, s stepper) {
+// add warms a simulation up, times Repeat windows of `steps` further
+// steps, and appends the fastest window's measurement. prec is the
+// precision the case was actually constructed with (recorded verbatim,
+// not derived from the name).
+func (rec *Record) add(name string, prec dsmc.Precision, workers, warm, steps int, s stepper) {
 	s.Run(warm)
+	reps := rec.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	for k := 0; k < reps; k++ {
+		best = fasterOf(best, k, timeWindow(s, steps))
+	}
+	rec.append(name, prec, workers, s.NFlow(), float64(best.Nanoseconds())/float64(steps))
+}
+
+// timeWindow is the one measurement primitive: the wall time of `steps`
+// further steps. Both add and addPair build on it so the timing protocol
+// cannot drift between plain and paired cases.
+func timeWindow(s stepper, steps int) time.Duration {
 	t0 := time.Now()
 	s.Run(steps)
-	elapsed := time.Since(t0)
-	nsPerStep := float64(elapsed.Nanoseconds()) / float64(steps)
+	return time.Since(t0)
+}
+
+// fasterOf keeps the running best window (window index 0 seeds it).
+func fasterOf(best time.Duration, k int, d time.Duration) time.Duration {
+	if k == 0 || d < best {
+		return d
+	}
+	return best
+}
+
+// append records one measured case.
+func (rec *Record) append(name string, prec dsmc.Precision, workers, particles int, nsPerStep float64) {
 	c := Case{
 		Name:              name,
+		Precision:         string(prec),
 		Workers:           workers,
-		Particles:         s.NFlow(),
+		Particles:         particles,
 		NsPerStep:         nsPerStep,
-		UsPerParticleStep: nsPerStep / 1000 / float64(s.NFlow()),
+		UsPerParticleStep: nsPerStep / 1000 / float64(particles),
 	}
 	rec.Cases = append(rec.Cases, c)
 	fmt.Printf("%-34s %9d particles  %10.0f ns/step  %.4f us/particle/step\n",
 		name, c.Particles, c.NsPerStep, c.UsPerParticleStep)
+}
+
+// precisionSpeedups fills SpeedupVsFloat64 on every /f32 case whose
+// float64 twin (same name without the suffix) is in the record.
+func (rec *Record) precisionSpeedups() {
+	byName := make(map[string]Case, len(rec.Cases))
+	for _, c := range rec.Cases {
+		byName[c.Name] = c
+	}
+	for i := range rec.Cases {
+		if rec.Cases[i].Precision != string(dsmc.Float32) {
+			continue
+		}
+		base, ok := byName[strings.TrimSuffix(rec.Cases[i].Name, "/f32")]
+		if !ok || base.Precision != string(dsmc.Float64) || base.UsPerParticleStep <= 0 {
+			continue
+		}
+		rec.Cases[i].SpeedupVsFloat64 = base.UsPerParticleStep / rec.Cases[i].UsPerParticleStep
+		fmt.Printf("%-34s float32 speedup vs float64: %.2fx\n",
+			rec.Cases[i].Name, rec.Cases[i].SpeedupVsFloat64)
+	}
+}
+
+// addPair measures a float64/float32 twin of one configuration with
+// interleaved windows — f64, f32, f64, f32, … — so slow host drift hits
+// both precisions equally and the recorded ratio reflects the code, not
+// the minute the case happened to run. The float64 case keeps the bare
+// name (stable for baseline diffing); the float32 case gets the /f32
+// suffix.
+func (rec *Record) addPair(name string, workers, warm, steps int, s64, s32 stepper) {
+	s64.Run(warm)
+	s32.Run(warm)
+	reps := rec.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+	var best64, best32 time.Duration
+	for k := 0; k < reps; k++ {
+		best64 = fasterOf(best64, k, timeWindow(s64, steps))
+		best32 = fasterOf(best32, k, timeWindow(s32, steps))
+	}
+	rec.append(name, dsmc.Float64, workers, s64.NFlow(), float64(best64.Nanoseconds())/float64(steps))
+	rec.append(name+"/f32", dsmc.Float32, workers, s32.NFlow(), float64(best32.Nanoseconds())/float64(steps))
 }
 
 // compare fills the baseline fields of every case whose name appears in

@@ -65,6 +65,27 @@ type WedgeSpec struct {
 	AngleDeg float64 // ramp angle, degrees
 }
 
+// Precision selects the storage precision of the Reference backend's
+// particle columns. All RNG draws, the probability rule, and the
+// collision exchange are computed in float64 for either setting;
+// Float32 narrows the stored columns — halving the memory traffic of
+// the cell-major sweeps, the dominant cost at paper scale — and
+// additionally accumulates the pair relative-speed sums feeding the
+// selection rule in single precision (the streaming half of that
+// kernel), so float32 physics deviates by that accumulation plus one
+// rounding per column write.
+type Precision string
+
+// Supported storage precisions.
+const (
+	// Float64 is the default, bit-exact reference precision.
+	Float64 Precision = "float64"
+	// Float32 halves the particle-store memory traffic; physics
+	// validation targets (shock angle, Rankine–Hugoniot rise) still hold
+	// within slightly loosened tolerances.
+	Float32 Precision = "float32"
+)
+
 // MolecularModel selects the interaction law for the selection rule.
 type MolecularModel string
 
@@ -100,6 +121,10 @@ type Config struct {
 	// PhysProcs is the physical processor count of the ConnectionMachine
 	// backend (default 1024; the paper's machine had 32k).
 	PhysProcs int
+	// Precision selects the Reference backend's storage precision
+	// (default Float64). The ConnectionMachine backend is fixed-point and
+	// ignores it.
+	Precision Precision
 	// Workers is the CPU worker count the Reference backend shards its
 	// phases over (move/boundary over particle chunks, sort, select,
 	// collide and sampling over cell ranges); 0 selects runtime.NumCPU().
@@ -169,7 +194,7 @@ func (c Config) internalConfig() (sim.Config, error) {
 	return ic, ic.Validate()
 }
 
-// backend abstracts the two implementations.
+// backend abstracts the implementations.
 type backend interface {
 	Step()
 	Run(n int)
@@ -181,10 +206,19 @@ type backend interface {
 	Volumes() []float64
 }
 
+// refBackend is the extra surface of the engine-based Reference
+// backends beyond backend: cell-sharded sampling and the phase timing
+// breakdown. Both precision instantiations of sim.SimOf implement it.
+type refBackend interface {
+	backend
+	SampleInto(acc *sample.Accumulator)
+	PhaseTimes() map[string]time.Duration
+}
+
 // Simulation is a running wind-tunnel simulation.
 type Simulation struct {
 	cfg Config
-	ref *sim.Sim
+	ref refBackend
 	cm  *cmsim.Sim
 	b   backend
 }
@@ -205,12 +239,23 @@ func NewSimulation(c Config) (*Simulation, error) {
 		s.cm = cs
 		s.b = cs
 	default:
-		rs, err := sim.New(ic)
-		if err != nil {
-			return nil, err
+		switch c.Precision {
+		case "", Float64:
+			rs, err := sim.New(ic)
+			if err != nil {
+				return nil, err
+			}
+			s.ref = rs
+		case Float32:
+			rs, err := sim.NewOf[float32](ic)
+			if err != nil {
+				return nil, err
+			}
+			s.ref = rs
+		default:
+			return nil, fmt.Errorf("dsmc: unknown precision %q", c.Precision)
 		}
-		s.ref = rs
-		s.b = rs
+		s.b = s.ref
 	}
 	return s, nil
 }

@@ -243,3 +243,47 @@ func TestPublicWorkersDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestPrecisionFloat32Backend: the public Precision knob must select the
+// float32 reference backend, which runs the same physics (same streams,
+// narrowed columns) — populations and sampled density stay on top of the
+// float64 run over a short transient, and the timing/phase surface works.
+func TestPrecisionFloat32Backend(t *testing.T) {
+	cfg := testConfig()
+	cfg.Precision = Float32
+	s32, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg64 := testConfig()
+	s64, err := NewSimulation(cfg64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32.Run(10)
+	s64.Run(10)
+	if s32.NFlow() == 0 || s32.Collisions() == 0 {
+		t.Fatal("float32 backend did not simulate")
+	}
+	if f := float64(s32.NFlow()) / float64(s64.NFlow()); f < 0.99 || f > 1.01 {
+		t.Errorf("float32 flow population %d far from float64 %d", s32.NFlow(), s64.NFlow())
+	}
+	f := s32.SampleDensity(5)
+	mean := 0.0
+	for _, v := range f.Data {
+		mean += v
+	}
+	mean /= float64(len(f.Data))
+	if mean <= 0 {
+		t.Errorf("float32 density field empty")
+	}
+	if len(s32.PhaseSeconds()) == 0 {
+		t.Errorf("phase timing missing on float32 backend")
+	}
+
+	bad := testConfig()
+	bad.Precision = "float16"
+	if _, err := NewSimulation(bad); err == nil {
+		t.Errorf("unknown precision must fail")
+	}
+}

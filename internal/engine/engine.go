@@ -1,0 +1,644 @@
+// Package engine is the generic cell-major core both reference backends
+// run on: one phase pipeline — fused move+boundary, fused sort+scatter,
+// in-cell shuffle, per-shard select/collide, sampling — parameterized
+// over the storage precision (float32 halves the memory traffic of the
+// cell-major sweeps; float64 reproduces the pre-unification backends bit
+// for bit) and over a small Domain interface carrying the
+// dimension-specific parts: grid indexing, boundary conditions, and the
+// serial bookkeeping around them. The paper's point is that one
+// data-parallel formulation serves every geometry; this package is that
+// formulation, with internal/sim (wind tunnel + wedge) and internal/sim3
+// (piston-driven shock tube) reduced to geometry and configuration
+// adapters over it.
+//
+// Determinism contract: every cell (and, at diffuse walls, every
+// particle) draws from its own counter-based stream keyed by
+// (seed, step, domain, lane), so results are bit-identical for any
+// worker count. The StreamLayout preserves each backend's historical
+// epoch encoding, which is what keeps the unified core's float64 output
+// identical to the pre-refactor code (pinned by internal/golden).
+package engine
+
+import (
+	"math"
+	"time"
+
+	"dsmc/internal/baseline"
+	"dsmc/internal/collide"
+	"dsmc/internal/kernel"
+	"dsmc/internal/par"
+	"dsmc/internal/particle"
+	"dsmc/internal/rng"
+	"dsmc/internal/sample"
+)
+
+// Phase identifies one of the four sub-steps for timing breakdowns.
+type Phase int
+
+// The four sub-steps of a time step, as the paper reports them.
+const (
+	PhaseMove    Phase = iota // collisionless motion + boundary conditions
+	PhaseSort                 // cell indexing and ordering
+	PhaseSelect               // candidate pairing and the selection rule
+	PhaseCollide              // collision of selected partners
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseMove:
+		return "move+boundary"
+	case PhaseSort:
+		return "sort"
+	case PhaseSelect:
+		return "select"
+	case PhaseCollide:
+		return "collide"
+	}
+	return "unknown"
+}
+
+// StreamLayout fixes a backend's rng.StreamAt epoch encoding: the epoch
+// of a phase at step s is s*NumDomains + domain. Each backend keeps the
+// encoding it has always used (2D: sort/select/collide/wall over four
+// domains; 3D: sort/collide over two, selection drawing from the collide
+// stream), so unifying the pipelines moved no stream coordinates.
+type StreamLayout struct {
+	// NumDomains is the number of per-step stream domains.
+	NumDomains uint64
+	// Sort is the in-cell shuffle domain (lane = cell).
+	Sort uint64
+	// Select is the candidate-selection domain (lane = cell); unused
+	// when FusedSelect is set.
+	Select uint64
+	// Collide is the collision domain (lane = cell). Fused backends draw
+	// the selection probabilities from this stream too, interleaved with
+	// the collision draws.
+	Collide uint64
+	// Wall is the diffuse-wall re-emission domain (lane = particle);
+	// only consumed by domains with randomized boundaries.
+	Wall uint64
+}
+
+// Domain supplies the dimension-specific parts of the pipeline. Methods
+// prefixed Pre/Post run serially on the stepping goroutine; Boundary and
+// CellOf run inside sharded passes and must only touch shard-local or
+// read-only state (plus their disjoint particle ranges).
+type Domain[F kernel.Float] interface {
+	// CellIndexer returns the per-particle cell lookup the fused
+	// sort+scatter plans with. Called once at engine construction (never
+	// per particle), so implementations return a closure prebuilt over
+	// their grid that reads the engine's live store at call time — the
+	// hot histogram loop then pays one indirect call per particle, not
+	// an interface dispatch on top.
+	CellIndexer() func(i int) int32
+	// PreMove runs before the sharded move pass (advance the
+	// plunger/piston, reset per-worker exit state).
+	PreMove()
+	// Boundary enforces the boundary conditions on particles [lo, hi) of
+	// shard w, after the advance kernel has moved them. The engine tiles
+	// each shard (advance a cache-resident tile, then bound it), so
+	// Boundary is called several times per shard in ascending, disjoint
+	// ranges: implementations must append to per-worker state, resetting
+	// it in PreMove. Membership changes must be deferred to PostMove
+	// (record, don't remove).
+	Boundary(st *particle.Store[F], w, lo, hi int)
+	// PostMove runs after the move pass (remove exited particles, refill
+	// the plunger void).
+	PostMove()
+	// PostStep runs at the end of the step (relax the reservoir).
+	PostStep()
+}
+
+// Config assembles an engine. The zero value is not runnable; every
+// field except Vols, ZVib and Scheme is required.
+type Config struct {
+	// Cells is the grid's cell count.
+	Cells int
+	// Seed keys all counter-based streams.
+	Seed uint64
+	// Rule is the collision selection rule.
+	Rule collide.Rule
+	// Vols are the per-cell gas volumes entering the selection rule;
+	// nil means unit volumes everywhere.
+	Vols []float64
+	// Layout is the backend's stream-domain encoding.
+	Layout StreamLayout
+	// FusedSelect selects the single-pass select+collide style (the 3D
+	// backend's): selection and collision draw interleaved from the
+	// Collide stream of each cell. Off, selection streams all pairs of a
+	// shard first (recording picks) and collision revisits them with the
+	// separate Collide stream — the 2D backend's style, which also
+	// yields the select/collide timing split.
+	FusedSelect bool
+	// ZVib enables vibrational relaxation when positive: each collision
+	// exchanges energy with the pair's continuous vibrational
+	// reservoirs with probability 1/ZVib.
+	ZVib float64
+	// Scheme, when non-nil, replaces the default McDonald–Baganoff
+	// select+collide with a pluggable per-cell scheme (baselines).
+	Scheme baseline.Scheme
+}
+
+// pairPick records an accepted candidate pair: the particles at indices
+// a and a+1 of the cell-major store, in cell c (the collide pass
+// re-derives cell c's stream when c changes).
+type pairPick struct{ a, c int32 }
+
+// Engine is the unified cell-major pipeline over one particle store.
+//
+// The store is double-buffered: every step the sort's scatter writes the
+// payload into the shadow buffer at its cell-major position and the two
+// are swapped, so the select/collide/sample sweeps walk contiguous
+// cellStart[c]:cellStart[c+1] ranges with no index indirection. All
+// dispatch closures and per-worker scratch are built once at
+// construction; a steady-state Step performs zero heap allocations.
+type Engine[F kernel.Float] struct {
+	cfg Config
+	dom Domain[F]
+
+	store  *particle.Store[F] // live buffer, cell-major after each sort
+	shadow *particle.Store[F] // scatter target, swapped with store each step
+
+	pool   *par.Pool
+	sorter *par.CellSort[F]
+	table  []rng.Perm5
+
+	step       int
+	collisions int64
+	phaseTime  [numPhases]time.Duration
+
+	// Prebuilt shard bodies: building them once keeps the pool dispatch
+	// in Step allocation-free (a func literal created per call would
+	// escape to the heap).
+	fnMoveBound func(w, lo, hi int)
+	fnSelCol    func(w, lo, hi int)
+	fnScheme    func(w, lo, hi int)
+	cellOfFn    func(i int) int32
+	swapFn      func(i, j int)
+
+	// per-worker scratch, indexed by the pool's block index
+	scratchW [][]collide.State5 // scheme gather buffers
+	gW       [][]float64        // relative-speed spans (one cell at a time)
+	picksW   [][]pairPick       // accepted-pair buffers (split style)
+	selW     []time.Duration
+	colW     []time.Duration
+	colls    []int64
+}
+
+// New assembles an engine over the given domain, worker pool, and
+// double-buffered stores (equal capacity, both 2D or both 3D).
+func New[F kernel.Float](cfg Config, dom Domain[F], pool *par.Pool, store, shadow *particle.Store[F]) *Engine[F] {
+	e := &Engine[F]{
+		cfg:    cfg,
+		dom:    dom,
+		store:  store,
+		shadow: shadow,
+		pool:   pool,
+		sorter: par.NewCellSort[F](pool, cfg.Cells),
+		table:  rng.Perm5Table(),
+	}
+	w := pool.Workers()
+	e.scratchW = make([][]collide.State5, w)
+	e.gW = make([][]float64, w)
+	e.picksW = make([][]pairPick, w)
+	capacity := store.Cap()
+	splitStyle := !cfg.FusedSelect && cfg.Scheme == nil
+	for b := 0; b < w; b++ {
+		// The pick buffers exist only for the split select/collide style;
+		// they get the balanced-load bound (n/2 pairs split w ways), so a
+		// pathologically imbalanced flow could grow one once, after which
+		// it too is stable. The relative-speed spans hold one cell's pairs
+		// at a time and grow (rarely) past the pre-size the same way.
+		if splitStyle {
+			e.picksW[b] = make([]pairPick, 0, capacity/(2*w)+64)
+		}
+		e.gW[b] = make([]float64, 1024)
+	}
+	e.selW = make([]time.Duration, w)
+	e.colW = make([]time.Duration, w)
+	e.colls = make([]int64, w)
+	e.fnMoveBound = e.moveBoundShard
+	if cfg.FusedSelect {
+		e.fnSelCol = e.selColFusedShard
+	} else {
+		e.fnSelCol = e.selColSplitShard
+	}
+	e.fnScheme = e.schemeShard
+	e.cellOfFn = dom.CellIndexer()
+	e.swapFn = func(i, j int) { e.store.Swap(i, j) }
+	return e
+}
+
+// Epoch encodes (step, domain) into the single epoch word of
+// rng.StreamAt — the one place the encoding lives, so no two phases can
+// drift onto the same stream coordinates.
+func (e *Engine[F]) Epoch(domain uint64) uint64 {
+	return uint64(e.step)*e.cfg.Layout.NumDomains + domain
+}
+
+// PhaseStream returns the private counter-based stream for one lane (a
+// cell or particle index) of one phase of the current step. Because the
+// stream depends only on (seed, step, domain, lane), every lane draws the
+// same randomness no matter which worker processes it.
+func (e *Engine[F]) PhaseStream(domain uint64, lane int) rng.Stream {
+	return rng.StreamAt(e.cfg.Seed, e.Epoch(domain), uint64(lane))
+}
+
+// Store exposes the live particle store. The double-buffer swap makes
+// the pointer alternate between two buffers, so re-fetch it after every
+// Step rather than holding it across steps.
+func (e *Engine[F]) Store() *particle.Store[F] { return e.store }
+
+// Pool returns the phase worker pool.
+func (e *Engine[F]) Pool() *par.Pool { return e.pool }
+
+// Workers returns the resolved worker count of the phase pool.
+func (e *Engine[F]) Workers() int { return e.pool.Workers() }
+
+// StepCount returns the number of completed time steps.
+func (e *Engine[F]) StepCount() int { return e.step }
+
+// Collisions returns the cumulative number of collisions performed.
+func (e *Engine[F]) Collisions() int64 { return e.collisions }
+
+// Rule returns the active selection rule.
+func (e *Engine[F]) Rule() collide.Rule { return e.cfg.Rule }
+
+// CellCounts returns the per-cell particle counts of the latest sort.
+func (e *Engine[F]) CellCounts() []int32 { return e.sorter.Counts() }
+
+// CellStart returns the cell-major bucket boundaries of the latest sort:
+// cell c's particles are store indices [CellStart()[c], CellStart()[c+1]).
+func (e *Engine[F]) CellStart() []int32 { return e.sorter.CellStart() }
+
+// PhaseTimes returns cumulative wall time per sub-step.
+func (e *Engine[F]) PhaseTimes() map[string]time.Duration {
+	out := make(map[string]time.Duration, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		out[p.String()] = e.phaseTime[p]
+	}
+	return out
+}
+
+// Step advances the simulation one time step through the four sub-steps.
+func (e *Engine[F]) Step() {
+	t0 := time.Now()
+	e.moveBoundaries()
+	t1 := time.Now()
+	e.phaseTime[PhaseMove] += t1.Sub(t0)
+	e.sortByCell()
+	t2 := time.Now()
+	e.phaseTime[PhaseSort] += t2.Sub(t1)
+	e.selectAndCollide()
+	e.dom.PostStep()
+	e.step++
+}
+
+// Run advances n steps.
+func (e *Engine[F]) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// SampleInto accumulates the current snapshot into acc, sharded over cell
+// ranges on the engine's worker pool. Valid after a completed step (the
+// cell-major layout of the latest sort must be current). The per-cell
+// accumulation order follows the store order, so the sums are
+// bit-identical for any worker count.
+func (e *Engine[F]) SampleInto(acc *sample.Accumulator) {
+	sample.AddFlowCellMajor(acc, e.store, e.sorter.CellStart(), e.pool.For)
+}
+
+// moveBoundaries performs the collisionless motion (the width-grouped
+// advance kernel) fused with the domain's boundary conditions in a
+// single sharded pass over the particle arrays, bracketed by the
+// domain's serial hooks (plunger/piston advance before, exit removal and
+// void refill after). The parallel pass never mutates the store's
+// membership — domains record exits per worker and remove them in
+// PostMove.
+func (e *Engine[F]) moveBoundaries() {
+	e.dom.PreMove()
+	e.pool.ForIdx(e.store.Len(), e.fnMoveBound)
+	e.dom.PostMove()
+}
+
+// moveTile is the particle count the move pass advances before handing
+// the same range to the domain's boundary sweep: small enough that the
+// just-written position columns are still cache-resident when the
+// boundary checks re-read them (four float64 columns of 1024 particles
+// are 32 KiB), large enough to amortize the per-tile call.
+const moveTile = 1024
+
+func (e *Engine[F]) moveBoundShard(w, lo, hi int) {
+	st := e.store
+	for tlo := lo; tlo < hi; tlo += moveTile {
+		thi := tlo + moveTile
+		if thi > hi {
+			thi = hi
+		}
+		if st.Z != nil {
+			kernel.Advance3(st.X[tlo:thi], st.Y[tlo:thi], st.Z[tlo:thi], st.U[tlo:thi], st.V[tlo:thi], st.W[tlo:thi])
+		} else {
+			kernel.Advance2(st.X[tlo:thi], st.Y[tlo:thi], st.U[tlo:thi], st.V[tlo:thi])
+		}
+		e.dom.Boundary(st, w, tlo, thi)
+	}
+}
+
+// sortByCell makes the store cell-major: every particle's cell index is
+// computed, the stable scatter writes the full payload into the shadow
+// store at its cell-major position, the buffers are swapped — sort and
+// physical reorder fused into one sharded pass — and the records inside
+// each cell span are shuffled in place (the role of the paper's sort with
+// the scaled-and-dithered key, candidates re-randomised every step).
+// After this, cell c's particles are the contiguous index range
+// cellStart[c]:cellStart[c+1] of the arrays.
+func (e *Engine[F]) sortByCell() {
+	st := e.store
+	e.sorter.Plan(st.Len(), st.Cell, e.cellOfFn)
+	e.sorter.ScatterStore(st, e.shadow)
+	e.store, e.shadow = e.shadow, e.store
+	e.sorter.Shuffle(e.cfg.Seed, e.Epoch(e.cfg.Layout.Sort), e.swapFn)
+}
+
+// smallCellPairs is the span below which the select sweep computes its
+// relative speeds inline: a kernel call per cell only pays for itself
+// once a cell holds at least a lane-group of pairs (the same
+// dispatch-overhead cutoff pattern par uses for serial loops). The
+// arithmetic is identical on both paths, so the cutoff moves no bits.
+const smallCellPairs = kernel.Width
+
+// relSpeeds fills g[:npairs] with the relative speeds of the cell span
+// starting at lo: inline for small cells, the width-grouped kernel for
+// dense ones.
+func relSpeeds[F kernel.Float](st *particle.Store[F], lo, npairs int, g []float64) {
+	if npairs >= smallCellPairs {
+		kernel.PairRelSpeeds(st.U, st.V, st.W, lo, npairs, g)
+		return
+	}
+	for k := 0; k < npairs; k++ {
+		a := lo + 2*k
+		du := st.U[a] - st.U[a+1]
+		dv := st.V[a] - st.V[a+1]
+		dw := st.W[a] - st.W[a+1]
+		g[k] = math.Sqrt(float64(du*du + dv*dv + dw*dw))
+	}
+}
+
+// vol returns the gas volume of cell c (unit when no volume table is
+// configured).
+func (e *Engine[F]) vol(c int) float64 {
+	if e.cfg.Vols == nil {
+		return 1
+	}
+	return e.cfg.Vols[c]
+}
+
+// selectAndCollide pairs adjacent candidates within each cell-major span,
+// applies the selection rule, and collides accepted pairs. The work is
+// sharded over cell ranges: cells own disjoint contiguous index ranges
+// and each draws from its own streams, so any worker count produces
+// identical collisions.
+func (e *Engine[F]) selectAndCollide() {
+	nc := e.cfg.Cells
+	if e.cfg.Scheme != nil {
+		// Pluggable scheme path (baselines): gather cells, delegate.
+		t0 := time.Now()
+		e.pool.ForIdx(nc, e.fnScheme)
+		for _, c := range e.colls {
+			e.collisions += c
+		}
+		e.phaseTime[PhaseCollide] += time.Since(t0)
+		return
+	}
+	if e.cfg.FusedSelect {
+		// Single-pass style: selection and collision interleave on one
+		// stream, so the timing cannot be split — book it all as collide.
+		t0 := time.Now()
+		e.pool.ForIdx(nc, e.fnSelCol)
+		for _, c := range e.colls {
+			e.collisions += c
+		}
+		e.phaseTime[PhaseCollide] += time.Since(t0)
+		return
+	}
+	// Split style: each shard runs selection over all its cells first and
+	// then collides the accepted pairs, so the paper's select/collide
+	// breakdown costs three clock reads per shard instead of two per
+	// non-empty cell.
+	e.pool.ForIdx(nc, e.fnSelCol)
+	// A concurrent section's wall time is its slowest shard; if the pool
+	// fell back to serial dispatch the shards ran back-to-back and their
+	// times add instead. Per-worker times are written before the pool's
+	// barrier and read after it, so the breakdown stays race-free.
+	e.phaseTime[PhaseSelect] += shardWall(e.pool.Parallel(nc), e.selW)
+	e.phaseTime[PhaseCollide] += shardWall(e.pool.Parallel(nc), e.colW)
+	for _, c := range e.colls {
+		e.collisions += c
+	}
+}
+
+// selColSplitShard is one worker's cell range of the split select+collide
+// style. Selection streams the velocity columns of the shard's contiguous
+// particle range once — the relative speeds computed by the width-grouped
+// kernel a block of pairs at a time — recording accepted pairs; the
+// collide sub-loop then revisits only the accepted records. Selection and
+// collision draw from distinct per-cell stream domains so the two
+// sub-loops stay deterministic for any worker count.
+func (e *Engine[F]) selColSplitShard(w, clo, chi int) {
+	st := e.store
+	cellStart := e.sorter.CellStart()
+	zvib := e.cfg.ZVib > 0
+	t0 := time.Now()
+	picks := e.picksW[w][:0]
+	g := e.gW[w]
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		cnt := hi - lo
+		if cnt < 2 {
+			continue
+		}
+		r := e.PhaseStream(e.cfg.Layout.Select, c)
+		vol := e.vol(c)
+		npairs := cnt / 2
+		if len(g) < npairs {
+			g = make([]float64, npairs+npairs/2)
+			e.gW[w] = g
+		}
+		relSpeeds(st, lo, npairs, g)
+		for k := 0; k < npairs; k++ {
+			p := e.cfg.Rule.Prob(cnt, vol, g[k])
+			if p == 1 || r.Float64() < p {
+				picks = append(picks, pairPick{int32(lo + 2*k), int32(c)})
+			}
+		}
+	}
+	t1 := time.Now()
+	var r rng.Stream
+	cur := int32(-1)
+	var coll int64
+	if zvib {
+		for _, pk := range picks {
+			if pk.c != cur {
+				cur = pk.c
+				r = e.PhaseStream(e.cfg.Layout.Collide, int(cur))
+			}
+			e.collideVibPair(st, int(pk.a), int(pk.a)+1, &r)
+		}
+	} else {
+		for _, pk := range picks {
+			if pk.c != cur {
+				cur = pk.c
+				r = e.PhaseStream(e.cfg.Layout.Collide, int(cur))
+			}
+			ia := int(pk.a)
+			kernel.ExchangePair(st.U, st.V, st.W, st.R1, st.R2, ia, ia+1,
+				rng.RandomPerm5(e.table, &r), r.Uint32())
+		}
+	}
+	coll = int64(len(picks))
+	e.picksW[w] = picks
+	e.selW[w], e.colW[w] = t1.Sub(t0), time.Since(t1)
+	e.colls[w] = coll
+}
+
+// selColFusedShard is one worker's cell range of the fused style:
+// selection and collision interleave pair by pair on the cell's single
+// collide stream (the 3D backend's historical draw order). The relative
+// speeds still come from the width-grouped kernel a block at a time —
+// the blocking consumes no randomness, so the draw sequence is
+// untouched.
+func (e *Engine[F]) selColFusedShard(w, clo, chi int) {
+	st := e.store
+	cellStart := e.sorter.CellStart()
+	zvib := e.cfg.ZVib > 0
+	var coll int64
+	g := e.gW[w]
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		cnt := hi - lo
+		if cnt < 2 {
+			continue
+		}
+		r := e.PhaseStream(e.cfg.Layout.Collide, c)
+		vol := e.vol(c)
+		npairs := cnt / 2
+		if len(g) < npairs {
+			g = make([]float64, npairs+npairs/2)
+			e.gW[w] = g
+		}
+		relSpeeds(st, lo, npairs, g)
+		for k := 0; k < npairs; k++ {
+			p := e.cfg.Rule.Prob(cnt, vol, g[k])
+			if p == 1 || r.Float64() < p {
+				a := lo + 2*k
+				if zvib {
+					e.collideVibPair(st, a, a+1, &r)
+				} else {
+					kernel.ExchangePair(st.U, st.V, st.W, st.R1, st.R2, a, a+1,
+						rng.RandomPerm5(e.table, &r), r.Uint32())
+				}
+				coll++
+			}
+		}
+	}
+	e.colls[w] = coll
+}
+
+// collideVibPair draws the permutation and signs from r, performs the
+// exchange on pair (ia, ib), and relaxes the pair against its
+// vibrational reservoirs.
+func (e *Engine[F]) collideVibPair(st *particle.Store[F], ia, ib int, r *rng.Stream) {
+	perm := rng.RandomPerm5(e.table, r)
+	va, vb := st.Vel(ia), st.Vel(ib)
+	collide.Collide(&va, &vb, perm, r.Uint32())
+	e.vibExchange(st, &va, &vb, ia, ib, r)
+	st.SetVel(ia, va)
+	st.SetVel(ib, vb)
+}
+
+// schemeShard is one worker's cell range of the pluggable-scheme path:
+// each cell span is copied contiguously into the worker's scratch buffer,
+// handed to the scheme, and written back.
+func (e *Engine[F]) schemeShard(w, clo, chi int) {
+	st := e.store
+	cellStart := e.sorter.CellStart()
+	var coll int64
+	for c := clo; c < chi; c++ {
+		lo, hi := int(cellStart[c]), int(cellStart[c+1])
+		if hi-lo < 2 {
+			continue
+		}
+		if cap(e.scratchW[w]) < hi-lo {
+			e.scratchW[w] = make([]collide.State5, hi-lo)
+		}
+		cellParts := e.scratchW[w][:hi-lo]
+		for k := range cellParts {
+			cellParts[k] = st.Vel(lo + k)
+		}
+		r := e.PhaseStream(e.cfg.Layout.Collide, c)
+		coll += int64(e.cfg.Scheme.CollideCell(cellParts, e.vol(c), e.cfg.Rule, &r))
+		for k := range cellParts {
+			st.SetVel(lo+k, cellParts[k])
+		}
+	}
+	e.colls[w] = coll
+}
+
+func shardWall(concurrent bool, ds []time.Duration) time.Duration {
+	var m, sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > m {
+			m = d
+		}
+	}
+	if concurrent {
+		return m
+	}
+	return sum
+}
+
+// vibExchange applies the continuous vibrational relaxation to a just-
+// collided pair: the pair's relative translational energy and the two
+// vibrational reservoirs are redistributed (collide.VibExchange), and the
+// relative translational velocity is rescaled so total energy is
+// conserved exactly. The pair mean is untouched, so momentum is
+// conserved too. The exchange runs in float64 (the reservoirs round once
+// on store), so the float64 instantiation is bit-exact.
+func (e *Engine[F]) vibExchange(st *particle.Store[F], va, vb *collide.State5, ia, ib int, r *rng.Stream) {
+	du := va[0] - vb[0]
+	dv := va[1] - vb[1]
+	dw := va[2] - vb[2]
+	eTr := (du*du + dv*dv + dw*dw) / 2
+	if eTr <= 0 {
+		return
+	}
+	eTrNew, ea, eb := collide.VibExchange(eTr, float64(st.Evib[ia]), float64(st.Evib[ib]), e.cfg.ZVib, r)
+	st.Evib[ia], st.Evib[ib] = F(ea), F(eb)
+	if eTrNew == eTr {
+		return
+	}
+	scale := math.Sqrt(eTrNew / eTr)
+	for k := 0; k < 3; k++ {
+		mean := (va[k] + vb[k]) / 2
+		half := (va[k] - vb[k]) / 2 * scale
+		va[k] = mean + half
+		vb[k] = mean - half
+	}
+}
+
+// TotalVibEnergy returns the summed vibrational energy of the flow.
+func (e *Engine[F]) TotalVibEnergy() float64 {
+	var s float64
+	for i := 0; i < e.store.Len(); i++ {
+		s += float64(e.store.Evib[i])
+	}
+	return s
+}
+
+// TotalEnergy returns the flow's total velocity-square sum (diagnostic).
+func (e *Engine[F]) TotalEnergy() float64 { return e.store.TotalEnergy() }

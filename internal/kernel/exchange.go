@@ -1,0 +1,20 @@
+package kernel
+
+import (
+	"dsmc/internal/collide"
+	"dsmc/internal/rng"
+)
+
+// ExchangePair performs one McDonald–Baganoff collision on the pair
+// (ia, ib) of the five velocity columns: the states are gathered to
+// float64, exchanged by collide.Collide (permutation + random signs
+// about the unchanged pair mean), and scattered back to the storage
+// precision. The float64 instantiation is bit-identical to the
+// Vel/Collide/SetVel sequence of the pre-generic backends.
+func ExchangePair[F Float](u, v, w, r1, r2 []F, ia, ib int, perm rng.Perm5, signs uint32) {
+	va := collide.State5{float64(u[ia]), float64(v[ia]), float64(w[ia]), float64(r1[ia]), float64(r2[ia])}
+	vb := collide.State5{float64(u[ib]), float64(v[ib]), float64(w[ib]), float64(r1[ib]), float64(r2[ib])}
+	collide.Collide(&va, &vb, perm, signs)
+	u[ia], v[ia], w[ia], r1[ia], r2[ia] = F(va[0]), F(va[1]), F(va[2]), F(va[3]), F(va[4])
+	u[ib], v[ib], w[ib], r1[ib], r2[ib] = F(vb[0]), F(vb[1]), F(vb[2]), F(vb[3]), F(vb[4])
+}

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"dsmc/internal/rng"
+)
+
+// testAdvance checks the blocked move pass against the scalar loop for
+// both precisions and for lengths around the block width (0, partial
+// block, exact blocks, blocks + tail).
+func testAdvance[F Float](t *testing.T) {
+	t.Helper()
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 37} {
+		r := rng.NewStream(uint64(n) + 3)
+		mk := func() []F {
+			s := make([]F, n)
+			for i := range s {
+				s[i] = F(r.Gaussian(0, 1))
+			}
+			return s
+		}
+		x, y, z := mk(), mk(), mk()
+		u, v, w := mk(), mk(), mk()
+		wantX, wantY, wantZ := make([]F, n), make([]F, n), make([]F, n)
+		for i := 0; i < n; i++ {
+			wantX[i] = x[i] + u[i]
+			wantY[i] = y[i] + v[i]
+			wantZ[i] = z[i] + w[i]
+		}
+		x2, y2 := append([]F(nil), x...), append([]F(nil), y...)
+		Advance2(x2, y2, u, v)
+		Advance3(x, y, z, u, v, w)
+		for i := 0; i < n; i++ {
+			if x2[i] != wantX[i] || y2[i] != wantY[i] {
+				t.Fatalf("n=%d: Advance2 diverged at %d", n, i)
+			}
+			if x[i] != wantX[i] || y[i] != wantY[i] || z[i] != wantZ[i] {
+				t.Fatalf("n=%d: Advance3 diverged at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestAdvance64(t *testing.T) { testAdvance[float64](t) }
+func TestAdvance32(t *testing.T) { testAdvance[float32](t) }
+
+// TestPairRelSpeeds64BitExact: the float64 instantiation must match the
+// scalar sqrt(du²+dv²+dw²) of the reference select loop bit for bit.
+func TestPairRelSpeeds64BitExact(t *testing.T) {
+	r := rng.NewStream(11)
+	n := 2 * 13
+	u, v, w := make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i], v[i], w[i] = r.Gaussian(0, 1), r.Gaussian(0, 1), r.Gaussian(0, 1)
+	}
+	g := make([]float64, 13)
+	PairRelSpeeds(u, v, w, 0, 13, g)
+	for k := 0; k < 13; k++ {
+		a := 2 * k
+		du := u[a] - u[a+1]
+		dv := v[a] - v[a+1]
+		dw := w[a] - w[a+1]
+		want := math.Sqrt(du*du + dv*dv + dw*dw)
+		if math.Float64bits(g[k]) != math.Float64bits(want) {
+			t.Fatalf("pair %d: %v != %v", k, g[k], want)
+		}
+	}
+	// An offset sub-span must match the same pairs shifted.
+	g2 := make([]float64, 5)
+	PairRelSpeeds(u, v, w, 4, 5, g2)
+	for k := 0; k < 5; k++ {
+		if math.Float64bits(g2[k]) != math.Float64bits(g[k+2]) {
+			t.Fatalf("offset pair %d diverged", k)
+		}
+	}
+}
+
+// TestPairRelSpeeds32 checks the float32 instantiation against a float64
+// recomputation within single-precision tolerance.
+func TestPairRelSpeeds32(t *testing.T) {
+	r := rng.NewStream(29)
+	n := 2 * Width
+	u, v, w := make([]float32, n), make([]float32, n), make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = float32(r.Gaussian(0, 1))
+		v[i] = float32(r.Gaussian(0, 1))
+		w[i] = float32(r.Gaussian(0, 1))
+	}
+	g := make([]float64, Width)
+	PairRelSpeeds(u, v, w, 0, Width, g)
+	for k := 0; k < Width; k++ {
+		a := 2 * k
+		du := float64(u[a]) - float64(u[a+1])
+		dv := float64(v[a]) - float64(v[a+1])
+		dw := float64(w[a]) - float64(w[a+1])
+		want := math.Sqrt(du*du + dv*dv + dw*dw)
+		if math.Abs(g[k]-want) > 1e-5*(1+want) {
+			t.Fatalf("pair %d: %v vs %v", k, g[k], want)
+		}
+	}
+}
+
+// testExchangePair: the exchange must conserve the pair's linear momentum
+// and total energy in both precisions (exactly in float64, to rounding in
+// float32) and must equal the permutation construction.
+func testExchangePair[F Float](t *testing.T, tol float64) {
+	t.Helper()
+	r := rng.NewStream(7)
+	table := rng.Perm5Table()
+	n := 10
+	u, v, w := make([]F, n), make([]F, n), make([]F, n)
+	r1, r2 := make([]F, n), make([]F, n)
+	for i := 0; i < n; i++ {
+		u[i], v[i], w[i] = F(r.Gaussian(0, 1)), F(r.Gaussian(0, 1)), F(r.Gaussian(0, 1))
+		r1[i], r2[i] = F(r.Gaussian(0, 1)), F(r.Gaussian(0, 1))
+	}
+	for trial := 0; trial < 50; trial++ {
+		ia, ib := 2*(trial%5), 2*(trial%5)+1
+		mom0 := [3]float64{
+			float64(u[ia]) + float64(u[ib]),
+			float64(v[ia]) + float64(v[ib]),
+			float64(w[ia]) + float64(w[ib]),
+		}
+		e0 := 0.0
+		for _, c := range [][]F{u, v, w, r1, r2} {
+			e0 += float64(c[ia])*float64(c[ia]) + float64(c[ib])*float64(c[ib])
+		}
+		ExchangePair(u, v, w, r1, r2, ia, ib, rng.RandomPerm5(table, &r), r.Uint32())
+		mom1 := [3]float64{
+			float64(u[ia]) + float64(u[ib]),
+			float64(v[ia]) + float64(v[ib]),
+			float64(w[ia]) + float64(w[ib]),
+		}
+		e1 := 0.0
+		for _, c := range [][]F{u, v, w, r1, r2} {
+			e1 += float64(c[ia])*float64(c[ia]) + float64(c[ib])*float64(c[ib])
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(mom1[k]-mom0[k]) > tol {
+				t.Fatalf("trial %d: momentum %d drifted %v", trial, k, mom1[k]-mom0[k])
+			}
+		}
+		if math.Abs(e1-e0) > tol*(1+e0) {
+			t.Fatalf("trial %d: energy drifted %v -> %v", trial, e0, e1)
+		}
+	}
+}
+
+func TestExchangePair64(t *testing.T) { testExchangePair[float64](t, 1e-12) }
+func TestExchangePair32(t *testing.T) { testExchangePair[float32](t, 1e-5) }

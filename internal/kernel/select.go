@@ -1,0 +1,38 @@
+package kernel
+
+import "math"
+
+// PairRelSpeeds computes the translational relative speeds of the
+// `pairs` adjacent candidate pairs of one cell-major span: for k in
+// [0, pairs), g[k] = |v(a+2k) − v(a+2k+1)| over the (u, v, w)
+// components. The sweep is blocked Width pairs at a time: the squared
+// sums accumulate in the storage precision — the streaming half of the
+// kernel — and the square roots are taken in float64, the precision of
+// the selection rule they feed. g must hold at least pairs elements.
+//
+// The selection phase consumes the speeds pair by pair afterwards,
+// applying the probability rule and its RNG draws in store order, so the
+// per-cell draw sequence is untouched by the blocking.
+func PairRelSpeeds[F Float](u, v, w []F, a, pairs int, g []float64) {
+	ub := u[a : a+2*pairs]
+	vb := v[a : a+2*pairs]
+	wb := w[a : a+2*pairs]
+	gb := g[:pairs]
+	var sq [Width]F
+	for base := 0; base < pairs; base += Width {
+		nb := pairs - base
+		if nb > Width {
+			nb = Width
+		}
+		for k := 0; k < nb; k++ {
+			j := 2 * (base + k)
+			du := ub[j] - ub[j+1]
+			dv := vb[j] - vb[j+1]
+			dw := wb[j] - wb[j+1]
+			sq[k] = du*du + dv*dv + dw*dw
+		}
+		for k := 0; k < nb; k++ {
+			gb[base+k] = math.Sqrt(float64(sq[k]))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"dsmc/internal/kernel"
 	"dsmc/internal/particle"
 	"dsmc/internal/rng"
 )
@@ -26,7 +27,7 @@ import (
 // invariant the deterministic collide phase relies on. All dispatch
 // closures are built once at construction, so steady-state sorting
 // performs zero heap allocations.
-type CellSort struct {
+type CellSort[F kernel.Float] struct {
 	pool      *Pool
 	counts    []int32
 	cellStart []int32
@@ -40,15 +41,15 @@ type CellSort struct {
 	shuffleFn func(w, clo, chi int)
 	cell      []int32
 	cellOf    func(i int) int32
-	src, dst  *particle.Store
+	src, dst  *particle.Store[F]
 	swap      func(i, j int)
 	seed      uint64
 	epoch     uint64
 }
 
 // NewCellSort returns a sorter over the given cell count, sharded on pool.
-func NewCellSort(pool *Pool, cells int) *CellSort {
-	cs := &CellSort{
+func NewCellSort[F kernel.Float](pool *Pool, cells int) *CellSort[F] {
+	cs := &CellSort[F]{
 		pool:      pool,
 		counts:    make([]int32, cells),
 		cellStart: make([]int32, cells+1),
@@ -66,16 +67,16 @@ func NewCellSort(pool *Pool, cells int) *CellSort {
 }
 
 // Counts returns the per-cell element counts of the latest Plan.
-func (cs *CellSort) Counts() []int32 { return cs.counts }
+func (cs *CellSort[F]) Counts() []int32 { return cs.counts }
 
 // CellStart returns the bucket boundaries of the latest Plan: cell c's
 // elements occupy [CellStart()[c], CellStart()[c+1]) after the scatter.
-func (cs *CellSort) CellStart() []int32 { return cs.cellStart }
+func (cs *CellSort[F]) CellStart() []int32 { return cs.cellStart }
 
 // Plan computes cell[i] = cellOf(i) for every i in [0, n), the per-cell
 // counts and bucket boundaries, and every worker's scatter base inside
 // each cell. It must precede ScatterStore.
-func (cs *CellSort) Plan(n int, cell []int32, cellOf func(i int) int32) {
+func (cs *CellSort[F]) Plan(n int, cell []int32, cellOf func(i int) int32) {
 	cs.cell, cs.cellOf = cell, cellOf
 	cs.pool.ForIdx(n, cs.histFn)
 	cs.cellOf = nil
@@ -94,7 +95,7 @@ func (cs *CellSort) Plan(n int, cell []int32, cellOf func(i int) int32) {
 	}
 }
 
-func (cs *CellSort) histShard(w, lo, hi int) {
+func (cs *CellSort[F]) histShard(w, lo, hi int) {
 	cw := cs.wcounts[w]
 	for c := range cw {
 		cw[c] = 0
@@ -113,14 +114,14 @@ func (cs *CellSort) histShard(w, lo, hi int) {
 // pointers — sort and physical reorder fused into this single pass. src
 // and dst must share Plan's cell slice (src.Cell) and have equal shape
 // (both 2D or both 3D, dst.Cap() >= src.Len()).
-func (cs *CellSort) ScatterStore(src, dst *particle.Store) {
+func (cs *CellSort[F]) ScatterStore(src, dst *particle.Store[F]) {
 	cs.src, cs.dst = src, dst
 	cs.pool.ForIdx(src.Len(), cs.scatterFn)
 	cs.src, cs.dst = nil, nil
 	dst.SetLen(src.Len())
 }
 
-func (cs *CellSort) scatterShard(w, lo, hi int) {
+func (cs *CellSort[F]) scatterShard(w, lo, hi int) {
 	src, dst := cs.src, cs.dst
 	fill := cs.wfill[w]
 	cell := src.Cell
@@ -151,13 +152,13 @@ func (cs *CellSort) scatterShard(w, lo, hi int) {
 // counter-based stream (seed, epoch, cell), sharded over cell ranges.
 // swap exchanges two records of the scattered payload (e.g. the bound
 // store's Swap); it is only ever called with indices of one cell span.
-func (cs *CellSort) Shuffle(seed, epoch uint64, swap func(i, j int)) {
+func (cs *CellSort[F]) Shuffle(seed, epoch uint64, swap func(i, j int)) {
 	cs.seed, cs.epoch, cs.swap = seed, epoch, swap
 	cs.pool.ForIdx(len(cs.counts), cs.shuffleFn)
 	cs.swap = nil
 }
 
-func (cs *CellSort) shuffleShard(_, clo, chi int) {
+func (cs *CellSort[F]) shuffleShard(_, clo, chi int) {
 	swap := cs.swap
 	for c := clo; c < chi; c++ {
 		lo := int(cs.cellStart[c])

@@ -1,96 +1,106 @@
-// Package particle provides the particle containers of the float64
-// reference simulation: a structure-of-arrays store for the flow
-// particles (the layout a vectorized implementation sweeps over) and the
-// reservoir that receives particles leaving the downstream boundary,
-// re-velocities them with a rectangular distribution, lets them relax by
-// colliding amongst themselves, and supplies them back to the upstream
-// plunger void.
+// Package particle provides the particle containers of the reference
+// simulation: a structure-of-arrays store for the flow particles (the
+// layout a vectorized implementation sweeps over), generic over the
+// storage precision, and the reservoir that receives particles leaving
+// the downstream boundary, re-velocities them with a rectangular
+// distribution, lets them relax by colliding amongst themselves, and
+// supplies them back to the upstream plunger void.
 package particle
 
 import (
 	"dsmc/internal/collide"
+	"dsmc/internal/kernel"
 	"dsmc/internal/rng"
 )
 
-// Store holds particles in structure-of-arrays layout. The physical state
-// per particle is (x, y, u, v, w, r1, r2): 7 values in 2D, exactly the
-// paper's count; 3D simulations add the Z column (NewStore3). Cell is
-// derived (computational) state.
+// Store holds particles in structure-of-arrays layout, with every column
+// in the storage precision F (float64 is the bit-exact reference;
+// float32 halves the memory traffic of the cell-major sweeps). The
+// physical state per particle is (x, y, u, v, w, r1, r2): 7 values in
+// 2D, exactly the paper's count; 3D simulations add the Z column
+// (NewStore3). Cell is derived (computational) state.
+//
+// All randomness is drawn in float64 and rounded once on store, so the
+// RNG streams are shared between precisions and the float64
+// instantiation reproduces the pre-generic store exactly.
 //
 // The simulations keep the store cell-major: every step the sort's
 // scatter pass physically reorders the payload into a shadow store and
 // the buffers are swapped, so cell c's particles occupy the contiguous
 // index range cellStart[c]:cellStart[c+1] and Cell is non-decreasing.
-type Store struct {
-	X, Y []float64
+type Store[F kernel.Float] struct {
+	X, Y []F
 	// Z is the third coordinate of 3D stores; nil in 2D.
-	Z       []float64
-	U, V, W []float64
-	R1, R2  []float64
+	Z       []F
+	U, V, W []F
+	R1, R2  []F
 	// Evib is the continuous vibrational energy per particle (the
 	// future-work extension); zero unless the simulation enables
 	// vibrational relaxation.
-	Evib []float64
+	Evib []F
 	Cell []int32
 	n    int
 }
 
 // NewStore returns a 2D store with the given capacity and zero particles.
-func NewStore(capacity int) *Store {
-	return &Store{
-		X: make([]float64, capacity), Y: make([]float64, capacity),
-		U: make([]float64, capacity), V: make([]float64, capacity),
-		W:  make([]float64, capacity),
-		R1: make([]float64, capacity), R2: make([]float64, capacity),
-		Evib: make([]float64, capacity),
+func NewStore[F kernel.Float](capacity int) *Store[F] {
+	return &Store[F]{
+		X: make([]F, capacity), Y: make([]F, capacity),
+		U: make([]F, capacity), V: make([]F, capacity),
+		W:  make([]F, capacity),
+		R1: make([]F, capacity), R2: make([]F, capacity),
+		Evib: make([]F, capacity),
 		Cell: make([]int32, capacity),
 	}
 }
 
 // NewStore3 returns a 3D store (with the Z column) of the given capacity.
-func NewStore3(capacity int) *Store {
-	s := NewStore(capacity)
-	s.Z = make([]float64, capacity)
+func NewStore3[F kernel.Float](capacity int) *Store[F] {
+	s := NewStore[F](capacity)
+	s.Z = make([]F, capacity)
 	return s
 }
 
 // Len returns the number of live particles.
-func (s *Store) Len() int { return s.n }
+func (s *Store[F]) Len() int { return s.n }
 
 // SetLen declares the first n slots live — the receiving buffer of a
 // full-store scatter uses this after its payload is written.
-func (s *Store) SetLen(n int) { s.n = n }
+func (s *Store[F]) SetLen(n int) { s.n = n }
 
 // Cap returns the store capacity.
-func (s *Store) Cap() int { return len(s.X) }
+func (s *Store[F]) Cap() int { return len(s.X) }
 
 // Append adds a particle and returns its index, or -1 if full.
-func (s *Store) Append(x, y float64, v collide.State5) int {
+func (s *Store[F]) Append(x, y float64, v collide.State5) int {
 	if s.n >= len(s.X) {
 		return -1
 	}
 	i := s.n
 	s.n++
-	s.X[i], s.Y[i] = x, y
+	s.X[i], s.Y[i] = F(x), F(y)
 	s.Evib[i] = 0
 	s.SetVel(i, v)
 	return i
 }
 
-// Vel returns the five velocity components of particle i.
-func (s *Store) Vel(i int) collide.State5 {
-	return collide.State5{s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i]}
+// Vel returns the five velocity components of particle i, widened to the
+// float64 collision state.
+func (s *Store[F]) Vel(i int) collide.State5 {
+	return collide.State5{
+		float64(s.U[i]), float64(s.V[i]), float64(s.W[i]),
+		float64(s.R1[i]), float64(s.R2[i]),
+	}
 }
 
-// SetVel stores the five velocity components of particle i.
-func (s *Store) SetVel(i int, v collide.State5) {
-	s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i] = v[0], v[1], v[2], v[3], v[4]
+// SetVel stores the five velocity components of particle i, rounding
+// once to the storage precision.
+func (s *Store[F]) SetVel(i int, v collide.State5) {
+	s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i] = F(v[0]), F(v[1]), F(v[2]), F(v[3]), F(v[4])
 }
 
 // RemoveSwap deletes particle i by moving the last particle into its slot.
-// Returns the index that now holds a different particle (i, unless i was
-// last).
-func (s *Store) RemoveSwap(i int) {
+func (s *Store[F]) RemoveSwap(i int) {
 	last := s.n - 1
 	if i != last {
 		s.X[i], s.Y[i] = s.X[last], s.Y[last]
@@ -109,7 +119,7 @@ func (s *Store) RemoveSwap(i int) {
 // velocity components, vibrational energy). Cell is NOT swapped: the
 // in-cell shuffle only ever swaps records inside one cell span, where the
 // indices are equal by the cell-major invariant.
-func (s *Store) Swap(i, j int) {
+func (s *Store[F]) Swap(i, j int) {
 	s.X[i], s.X[j] = s.X[j], s.X[i]
 	s.Y[i], s.Y[j] = s.Y[j], s.Y[i]
 	if s.Z != nil {
@@ -124,24 +134,27 @@ func (s *Store) Swap(i, j int) {
 }
 
 // Reset empties the store without releasing memory.
-func (s *Store) Reset() { s.n = 0 }
+func (s *Store[F]) Reset() { s.n = 0 }
 
 // TotalEnergy returns Σ(u²+v²+w²+r1²+r2²) over live particles (per unit
-// mass, factor ½ omitted) — the conservation diagnostic.
-func (s *Store) TotalEnergy() float64 {
+// mass, factor ½ omitted) — the conservation diagnostic. Accumulated in
+// float64 for either storage precision.
+func (s *Store[F]) TotalEnergy() float64 {
 	var e float64
 	for i := 0; i < s.n; i++ {
-		e += s.U[i]*s.U[i] + s.V[i]*s.V[i] + s.W[i]*s.W[i] + s.R1[i]*s.R1[i] + s.R2[i]*s.R2[i]
+		u, v, w := float64(s.U[i]), float64(s.V[i]), float64(s.W[i])
+		r1, r2 := float64(s.R1[i]), float64(s.R2[i])
+		e += u*u + v*v + w*w + r1*r1 + r2*r2
 	}
 	return e
 }
 
 // TotalMomentum returns the summed translational momentum components.
-func (s *Store) TotalMomentum() (px, py, pz float64) {
+func (s *Store[F]) TotalMomentum() (px, py, pz float64) {
 	for i := 0; i < s.n; i++ {
-		px += s.U[i]
-		py += s.V[i]
-		pz += s.W[i]
+		px += float64(s.U[i])
+		py += float64(s.V[i])
+		pz += float64(s.W[i])
 	}
 	return px, py, pz
 }
@@ -150,8 +163,9 @@ func (s *Store) TotalMomentum() (px, py, pz float64) {
 // distributed over the region accepted by inRegion, with drifting
 // Maxwellian velocities: mean (uDrift, 0, 0), each component std sigma.
 // Rotational components are sampled at the same temperature
-// (equipartition). Returns the number actually placed.
-func (s *Store) InitFreestream(count int, w, h, uDrift, sigma float64,
+// (equipartition). All draws are float64 (shared across precisions);
+// values are rounded once on store. Returns the number actually placed.
+func (s *Store[F]) InitFreestream(count int, w, h, uDrift, sigma float64,
 	inRegion func(x, y float64) bool, r *rng.Stream) int {
 	placed := 0
 	for placed < count {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestStoreAppendAndAccess(t *testing.T) {
-	s := NewStore(4)
+	s := NewStore[float64](4)
 	v := collide.State5{1, 2, 3, 4, 5}
 	i := s.Append(0.5, 0.25, v)
 	if i != 0 || s.Len() != 1 {
@@ -24,7 +24,7 @@ func TestStoreAppendAndAccess(t *testing.T) {
 }
 
 func TestStoreCapacityLimit(t *testing.T) {
-	s := NewStore(2)
+	s := NewStore[float64](2)
 	s.Append(0, 0, collide.State5{})
 	s.Append(0, 0, collide.State5{})
 	if s.Append(0, 0, collide.State5{}) != -1 {
@@ -36,7 +36,7 @@ func TestStoreCapacityLimit(t *testing.T) {
 }
 
 func TestRemoveSwap(t *testing.T) {
-	s := NewStore(3)
+	s := NewStore[float64](3)
 	s.Append(1, 1, collide.State5{1, 0, 0, 0, 0})
 	s.Append(2, 2, collide.State5{2, 0, 0, 0, 0})
 	s.Append(3, 3, collide.State5{3, 0, 0, 0, 0})
@@ -55,7 +55,7 @@ func TestRemoveSwap(t *testing.T) {
 }
 
 func TestSetVel(t *testing.T) {
-	s := NewStore(1)
+	s := NewStore[float64](1)
 	s.Append(0, 0, collide.State5{})
 	want := collide.State5{9, 8, 7, 6, 5}
 	s.SetVel(0, want)
@@ -65,7 +65,7 @@ func TestSetVel(t *testing.T) {
 }
 
 func TestTotalEnergyMomentum(t *testing.T) {
-	s := NewStore(2)
+	s := NewStore[float64](2)
 	s.Append(0, 0, collide.State5{1, 2, 3, 4, 5})
 	s.Append(0, 0, collide.State5{-1, -2, -3, 0, 0})
 	wantE := float64(1+4+9+16+25) + float64(1+4+9)
@@ -79,7 +79,7 @@ func TestTotalEnergyMomentum(t *testing.T) {
 }
 
 func TestInitFreestreamRespectsRegionAndMoments(t *testing.T) {
-	s := NewStore(60000)
+	s := NewStore[float64](60000)
 	r := rng.NewStream(1)
 	const sigma = 0.1
 	const drift = 0.4
@@ -105,7 +105,7 @@ func TestInitFreestreamRespectsRegionAndMoments(t *testing.T) {
 }
 
 func TestInitFreestreamStopsAtCapacity(t *testing.T) {
-	s := NewStore(10)
+	s := NewStore[float64](10)
 	r := rng.NewStream(2)
 	placed := s.InitFreestream(100, 1, 1, 0, 0.1, func(x, y float64) bool { return true }, &r)
 	if placed != 10 || s.Len() != 10 {
@@ -171,7 +171,7 @@ func TestReservoirRelaxEmptyAndSingle(t *testing.T) {
 }
 
 func TestStoreReset(t *testing.T) {
-	s := NewStore(4)
+	s := NewStore[float64](4)
 	s.Append(1, 1, collide.State5{})
 	s.Reset()
 	if s.Len() != 0 {

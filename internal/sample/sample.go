@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"dsmc/internal/grid"
+	"dsmc/internal/kernel"
 	"dsmc/internal/particle"
 )
 
@@ -39,21 +40,24 @@ func NewAccumulator(g grid.Grid, vols []float64, nInf float64) *Accumulator {
 	}
 }
 
-// addParticle accumulates the moments of particle i into cell c.
-func (a *Accumulator) addParticle(st *particle.Store, c int32, i int) {
+// addParticle accumulates the moments of particle i into cell c. The
+// sums are kept in float64 for either storage precision; the float64
+// instantiation reproduces the pre-generic accumulation bit for bit.
+func addParticle[F kernel.Float](a *Accumulator, st *particle.Store[F], c int32, i int) {
+	u, v, w := float64(st.U[i]), float64(st.V[i]), float64(st.W[i])
+	r1, r2 := float64(st.R1[i]), float64(st.R2[i])
 	a.count[c]++
-	a.momX[c] += st.U[i]
-	a.momY[c] += st.V[i]
-	a.enrg[c] += st.U[i]*st.U[i] + st.V[i]*st.V[i] + st.W[i]*st.W[i] +
-		st.R1[i]*st.R1[i] + st.R2[i]*st.R2[i]
+	a.momX[c] += u
+	a.momY[c] += v
+	a.enrg[c] += u*u + v*v + w*w + r1*r1 + r2*r2
 }
 
 // AddFlow accumulates one snapshot of the store (cell indices must be
 // current, i.e. call after the step's sort).
-func (a *Accumulator) AddFlow(st *particle.Store) {
+func AddFlow[F kernel.Float](a *Accumulator, st *particle.Store[F]) {
 	n := st.Len()
 	for i := 0; i < n; i++ {
-		a.addParticle(st, st.Cell[i], i)
+		addParticle(a, st, st.Cell[i], i)
 	}
 	a.Steps++
 }
@@ -65,11 +69,11 @@ func (a *Accumulator) AddFlow(st *particle.Store) {
 // (pass a serial loop or a worker pool's For); workers touch disjoint
 // cells and the per-cell summation order follows the store order, so the
 // accumulation is race-free and bit-identical for any sharding.
-func (a *Accumulator) AddFlowCellMajor(st *particle.Store, cellStart []int32, parFor func(n int, f func(lo, hi int))) {
+func AddFlowCellMajor[F kernel.Float](a *Accumulator, st *particle.Store[F], cellStart []int32, parFor func(n int, f func(lo, hi int))) {
 	parFor(len(cellStart)-1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			for i := int(cellStart[c]); i < int(cellStart[c+1]); i++ {
-				a.addParticle(st, int32(c), i)
+				addParticle(a, st, int32(c), i)
 			}
 		}
 	})

@@ -50,7 +50,7 @@ func TestAccumulatorDensity(t *testing.T) {
 	g := grid.New(4, 2)
 	vols := uniformVols(g)
 	acc := NewAccumulator(g, vols, 10)
-	st := particle.NewStore(40)
+	st := particle.NewStore[float64](40)
 	// 20 particles in cell 0, 10 in cell 5.
 	for i := 0; i < 20; i++ {
 		idx := st.Append(0.5, 0.5, collide.State5{1, 0, 0, 0, 0})
@@ -60,8 +60,8 @@ func TestAccumulatorDensity(t *testing.T) {
 		idx := st.Append(1.5, 1.5, collide.State5{0, 2, 0, 0, 0})
 		st.Cell[idx] = 5
 	}
-	acc.AddFlow(st)
-	acc.AddFlow(st) // two identical snapshots
+	AddFlow(acc, st)
+	AddFlow(acc, st) // two identical snapshots
 	rho := acc.Density()
 	if math.Abs(rho[0]-2.0) > 1e-12 {
 		t.Errorf("cell 0 density %v, want 2 (20 particles / nInf 10)", rho[0])
@@ -78,12 +78,12 @@ func TestAccumulatorFractionalVolume(t *testing.T) {
 	g := grid.New(2, 1)
 	vols := []float64{0.5, 0} // a wedge-cut cell and a solid cell
 	acc := NewAccumulator(g, vols, 10)
-	st := particle.NewStore(10)
+	st := particle.NewStore[float64](10)
 	for i := 0; i < 5; i++ {
 		idx := st.Append(0.5, 0.5, collide.State5{})
 		st.Cell[idx] = 0
 	}
-	acc.AddFlow(st)
+	AddFlow(acc, st)
 	rho := acc.Density()
 	if math.Abs(rho[0]-1.0) > 1e-12 {
 		t.Errorf("fractional cell density %v, want 1 (5/(0.5·10))", rho[0])
@@ -96,11 +96,11 @@ func TestAccumulatorFractionalVolume(t *testing.T) {
 func TestAccumulatorVelocityTemperature(t *testing.T) {
 	g := grid.New(1, 1)
 	acc := NewAccumulator(g, uniformVols(g), 1)
-	st := particle.NewStore(2)
+	st := particle.NewStore[float64](2)
 	i0 := st.Append(0.5, 0.5, collide.State5{2, 0, 0, 0, 0})
 	i1 := st.Append(0.5, 0.5, collide.State5{4, 0, 0, 0, 0})
 	st.Cell[i0], st.Cell[i1] = 0, 0
-	acc.AddFlow(st)
+	AddFlow(acc, st)
 	ux, uy := acc.Velocity()
 	if math.Abs(ux[0]-3) > 1e-12 || uy[0] != 0 {
 		t.Errorf("mean velocity %v,%v", ux[0], uy[0])

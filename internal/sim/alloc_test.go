@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"dsmc/internal/kernel"
 )
 
 // allocConfig crosses par's serial cutoff in both shard dimensions so the
@@ -15,12 +17,15 @@ func allocConfig() Config {
 	return cfg
 }
 
-// TestStepAllocationFree: a steady-state Step must perform zero heap
-// allocations — the sort scatters into the pre-allocated shadow store,
-// all shard closures are prebuilt, per-worker scratch is pre-sized, and
-// the reservoir is capacity-bounded.
-func TestStepAllocationFree(t *testing.T) {
-	s, err := New(allocConfig())
+// testStepAllocationFree: a steady-state Step must perform zero heap
+// allocations in either storage precision — the sort scatters into the
+// pre-allocated shadow store, all shard closures are prebuilt, per-worker
+// scratch is pre-sized, and the reservoir is capacity-bounded.
+func testStepAllocationFree[F kernel.Float](t *testing.T, workers int) {
+	t.Helper()
+	cfg := allocConfig()
+	cfg.Workers = workers
+	s, err := NewOf[F](cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,20 +37,13 @@ func TestStepAllocationFree(t *testing.T) {
 	}
 }
 
-// TestStepAllocationFreeSerial covers the one-worker (serial dispatch)
-// path of the same guarantee.
-func TestStepAllocationFreeSerial(t *testing.T) {
-	cfg := allocConfig()
-	cfg.Workers = 1
-	s, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s.Run(40)
-	if avg := testing.AllocsPerRun(20, s.Step); avg != 0 {
-		t.Errorf("steady-state serial Step allocates %.2f times per call, want 0", avg)
-	}
-}
+func TestStepAllocationFree(t *testing.T)       { testStepAllocationFree[float64](t, 4) }
+func TestStepAllocationFreeSerial(t *testing.T) { testStepAllocationFree[float64](t, 1) }
+
+// The float32 instantiation runs the same engine, so the guarantee must
+// carry over unchanged.
+func TestStepAllocationFreeFloat32(t *testing.T)       { testStepAllocationFree[float32](t, 4) }
+func TestStepAllocationFreeFloat32Serial(t *testing.T) { testStepAllocationFree[float32](t, 1) }
 
 // TestCellMajorInvariant: after a step the store must be physically
 // cell-major — Cell non-decreasing, spans matching CellStart, and every

@@ -1,11 +1,19 @@
-// Package sim is the float64 reference implementation of the Stanford
-// direct particle simulation the paper parallelizes: the same four
-// sub-steps per time step (collisionless motion, boundary conditions,
-// selection of collision partners, collision of selected partners), the
-// same wind-tunnel arrangement (specular walls, wedge body, upstream
-// plunger, downstream sink into a reservoir), executed as array sweeps —
-// the role the hand-vectorized Cray-2 implementation plays in the paper's
-// performance comparison.
+// Package sim is the wind-tunnel backend of the paper's simulation: the
+// same four sub-steps per time step (collisionless motion, boundary
+// conditions, selection of collision partners, collision of selected
+// partners), the same arrangement (specular walls, wedge body, upstream
+// plunger, downstream sink into a reservoir) — the role the
+// hand-vectorized Cray-2 implementation plays in the paper's performance
+// comparison.
+//
+// The phase pipeline itself lives in internal/engine, shared with the 3D
+// shock tube and generic over the storage precision; this package
+// supplies only the 2D parts — grid indexing, the wedge/wall/plunger/
+// sink boundary conditions, and the reservoir bookkeeping — as the
+// engine's Domain, plus configuration. Sim is the float64 instantiation
+// (bit-identical to the pre-unification backend, pinned by
+// internal/golden); NewOf[float32] runs the same physics at half the
+// memory traffic.
 package sim
 
 import (
@@ -16,8 +24,10 @@ import (
 
 	"dsmc/internal/baseline"
 	"dsmc/internal/collide"
+	"dsmc/internal/engine"
 	"dsmc/internal/geom"
 	"dsmc/internal/grid"
+	"dsmc/internal/kernel"
 	"dsmc/internal/molec"
 	"dsmc/internal/par"
 	"dsmc/internal/particle"
@@ -114,101 +124,34 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Phase identifies one of the four sub-steps for timing breakdowns.
-type Phase int
+// layout2D is the 2D backend's stream-domain encoding, preserved exactly
+// from the pre-unification code so the unified engine's float64 output
+// stays bit-identical: sort (in-cell shuffle, lane = cell), select
+// (lane = cell), collide (lane = cell), wall (diffuse re-emission,
+// lane = particle).
+var layout2D = engine.StreamLayout{NumDomains: 4, Sort: 0, Select: 1, Collide: 2, Wall: 3}
 
-// The four sub-steps of a time step, as the paper reports them.
-const (
-	PhaseMove    Phase = iota // collisionless motion + boundary conditions
-	PhaseSort                 // cell indexing and ordering
-	PhaseSelect               // candidate pairing and the selection rule
-	PhaseCollide              // collision of selected partners
-	numPhases
-)
+// Sim is the float64 wind-tunnel simulation — the reference precision.
+type Sim = SimOf[float64]
 
-// String names the phase.
-func (p Phase) String() string {
-	switch p {
-	case PhaseMove:
-		return "move+boundary"
-	case PhaseSort:
-		return "sort"
-	case PhaseSelect:
-		return "select"
-	case PhaseCollide:
-		return "collide"
-	}
-	return "unknown"
-}
-
-// The per-step stream domains: each (step, domain) pair is a distinct
-// epoch for rng.StreamAt, so no stream is ever reused across phases.
-const (
-	domainSort    = iota // in-cell shuffle (lane = cell)
-	domainSelect         // candidate selection (lane = cell)
-	domainCollide        // collision of accepted pairs (lane = cell)
-	domainWall           // diffuse wall re-emission (lane = particle)
-	numDomains
-)
-
-// Sim is a running wind-tunnel simulation.
-//
-// The particle store is kept cell-major: every step the sort's scatter
-// writes the payload into the shadow store at its cell-major position and
-// the two buffers are swapped, so the select/collide/sample sweeps walk
-// contiguous cellStart[c]:cellStart[c+1] ranges of the arrays with no
-// index indirection. All dispatch closures and per-worker scratch are
-// built once at construction; a steady-state Step performs zero heap
-// allocations.
-type Sim struct {
+// SimOf is a running wind-tunnel simulation at storage precision F. The
+// phase pipeline (cell-major double-buffered store, fused passes,
+// allocation-free steady state) is the shared engine's; see that
+// package.
+type SimOf[F kernel.Float] struct {
 	cfg  Config
-	tun  geom.Tunnel
 	grid grid.Grid
 	vols []float64
-
-	store  *particle.Store // live buffer, cell-major after each sort
-	shadow *particle.Store // scatter target, swapped with store each step
-	res    *particle.Reservoir
-	resCap int // resolved reservoir capacity (Config default applied)
-	rule   collide.Rule
-	bm     *baseline.BM
-
-	r        rng.Stream
-	plungerX float64
-	uInf     float64
-	step     int
-
-	pool   *par.Pool
-	sorter *par.CellSort
-
-	// Prebuilt shard bodies: building them once keeps the pool dispatch
-	// in Step allocation-free (a func literal created per call would
-	// escape to the heap).
-	fnMoveBound func(w, lo, hi int)
-	fnSelCol    func(w, lo, hi int)
-	fnScheme    func(w, lo, hi int)
-	cellOfFn    func(i int) int32
-	swapFn      func(i, j int)
-
-	// per-worker scratch, indexed by the pool's block index
-	exits    [][]int32          // downstream-exit lists
-	scratchW [][]collide.State5 // scheme gather buffers
-	picksW   [][]pairPick       // accepted-pair buffers
-	selW     []time.Duration
-	colW     []time.Duration
-	colls    []int64
-
-	phaseTime  [numPhases]time.Duration
-	collisions int64
+	eng  *engine.Engine[F]
+	dom  *wedgeDomain[F]
 }
 
-// pairPick records an accepted candidate pair: the particles at indices
-// a and a+1 of the cell-major store, in cell c (the collide pass
-// re-derives cell c's stream when c changes).
-type pairPick struct{ a, c int32 }
+// New builds a float64 (reference-precision) simulation.
+func New(cfg Config) (*Sim, error) { return NewOf[float64](cfg) }
 
-// New builds a simulation from the configuration.
-func New(cfg Config) (*Sim, error) {
+// NewOf builds a simulation with storage precision F from the
+// configuration.
+func NewOf[F kernel.Float](cfg Config) (*SimOf[F], error) {
 	if cfg.Model.Name == "" {
 		cfg.Model = molec.Maxwell()
 	}
@@ -231,227 +174,232 @@ func New(cfg Config) (*Sim, error) {
 	}
 	capacity := flowTarget + resCap + flowTarget/8
 
-	s := &Sim{
-		cfg:    cfg,
-		tun:    geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge},
-		grid:   g,
-		vols:   vols,
-		store:  particle.NewStore(capacity),
-		shadow: particle.NewStore(capacity),
-		res:    particle.NewReservoir(resCap, cfg.Free.ComponentSigma()),
-		resCap: resCap,
-		r:      rng.NewStream(cfg.Seed),
-		uInf:   cfg.Free.Velocity(),
-		rule: collide.Rule{
+	pool := par.New(cfg.Workers)
+	sigma := cfg.Free.ComponentSigma()
+	dom := &wedgeDomain[F]{
+		tun:      geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge},
+		wall:     cfg.Wall,
+		uInf:     cfg.Free.Velocity(),
+		trigger:  cfg.PlungerTrigger,
+		nPerCell: cfg.NPerCell,
+		sigma:    sigma,
+		zvib:     cfg.ZVib,
+		res:      particle.NewReservoir(resCap, sigma),
+		resCap:   resCap,
+		r:        rng.NewStream(cfg.Seed),
+	}
+	dom.grid = g
+	// A worker's exit list can never exceed its block span, so sizing it
+	// to the largest possible span means it never grows — one of the
+	// pre-sizings behind the zero-allocation steady-state Step.
+	dom.exits = make([][]int32, pool.Workers())
+	blockCap := pool.BlockStep(capacity)
+	for b := range dom.exits {
+		dom.exits[b] = make([]int32, 0, blockCap)
+	}
+
+	store := particle.NewStore[F](capacity)
+	shadow := particle.NewStore[F](capacity)
+	eng := engine.New(engine.Config{
+		Cells: g.Cells(),
+		Seed:  cfg.Seed,
+		Rule: collide.Rule{
 			Model:      cfg.Model,
 			PInf:       cfg.Free.SelectionPInf(),
 			NInf:       cfg.NPerCell,
 			GInf:       math.Sqrt2 * cfg.Free.MeanSpeed(),
 			CollideAll: cfg.Free.Lambda <= 0,
 		},
-		pool: par.New(cfg.Workers),
-	}
-	s.sorter = par.NewCellSort(s.pool, g.Cells())
-	if cfg.Scheme == nil {
-		s.bm = baseline.NewBM()
-	}
-	w := s.pool.Workers()
-	s.exits = make([][]int32, w)
-	s.scratchW = make([][]collide.State5, w)
-	s.picksW = make([][]pairPick, w)
-	// A worker's exit list can never exceed its block span, so sizing it
-	// to the largest possible span means it never grows — one of the
-	// pre-sizings behind the zero-allocation steady-state Step. The pick
-	// buffers get the balanced-load bound (n/2 pairs split w ways); a
-	// pathologically imbalanced flow could grow one once, after which it
-	// too is stable.
-	blockCap := s.pool.BlockStep(capacity)
-	for b := 0; b < w; b++ {
-		s.exits[b] = make([]int32, 0, blockCap)
-		s.picksW[b] = make([]pairPick, 0, capacity/(2*w)+64)
-	}
-	s.selW = make([]time.Duration, w)
-	s.colW = make([]time.Duration, w)
-	s.colls = make([]int64, w)
-	s.fnMoveBound = s.moveBoundShard
-	s.fnSelCol = s.selColShard
-	s.fnScheme = s.schemeShard
-	s.cellOfFn = func(i int) int32 {
-		return int32(s.grid.CellOf(s.store.X[i], s.store.Y[i]))
-	}
-	s.swapFn = func(i, j int) { s.store.Swap(i, j) }
+		Vols:   vols,
+		Layout: layout2D,
+		ZVib:   cfg.ZVib,
+		Scheme: cfg.Scheme,
+	}, dom, pool, store, shadow)
+	dom.eng = eng
 
 	// Fill the tunnel with freestream gas and bank the paper's ~10% extra
 	// in the reservoir.
-	placed := s.store.InitFreestream(flowTarget, s.tun.W, s.tun.H,
-		cfg.Free.Velocity(), cfg.Free.ComponentSigma(),
-		func(x, y float64) bool { return s.tun.Inside(geom.Vec2{X: x, Y: y}) }, &s.r)
+	placed := store.InitFreestream(flowTarget, dom.tun.W, dom.tun.H,
+		cfg.Free.Velocity(), sigma,
+		func(x, y float64) bool { return dom.tun.Inside(geom.Vec2{X: x, Y: y}) }, &dom.r)
 	if placed < flowTarget {
 		return nil, fmt.Errorf("sim: store capacity exhausted at %d of %d particles", placed, flowTarget)
 	}
-	s.res.DepositN(resCap*3/4, &s.r)
+	dom.res.DepositN(resCap*3/4, &dom.r)
 	if cfg.ZVib > 0 {
-		s.initVibEquilibrium(0, s.store.Len())
+		dom.initVibEquilibrium(store, 0, store.Len())
 	}
-	return s, nil
-}
-
-// initVibEquilibrium samples the vibrational energies of particles
-// [lo, hi) from the equilibrium (exponential) distribution for two
-// continuous vibrational degrees of freedom at the freestream
-// temperature: mean 2·sigma² in the Σv² energy units used throughout.
-func (s *Sim) initVibEquilibrium(lo, hi int) {
-	sigma := s.cfg.Free.ComponentSigma()
-	mean := 2 * sigma * sigma
-	for i := lo; i < hi; i++ {
-		u := s.r.Float64()
-		for u == 0 {
-			u = s.r.Float64()
-		}
-		s.store.Evib[i] = -mean * math.Log(u)
-	}
-}
-
-// epoch encodes (step, domain) into the single epoch word of
-// rng.StreamAt — the one place the encoding lives, so no two phases can
-// drift onto the same stream coordinates.
-func (s *Sim) epoch(domain int) uint64 {
-	return uint64(s.step)*numDomains + uint64(domain)
-}
-
-// phaseStream returns the private counter-based stream for one lane (a
-// cell or particle index) of one phase of the current step. Because the
-// stream depends only on (seed, step, domain, lane), every lane draws the
-// same randomness no matter which worker processes it.
-func (s *Sim) phaseStream(domain, lane int) rng.Stream {
-	return rng.StreamAt(s.cfg.Seed, s.epoch(domain), uint64(lane))
+	return &SimOf[F]{cfg: cfg, grid: g, vols: vols, eng: eng, dom: dom}, nil
 }
 
 // Workers returns the resolved worker count of the phase pool.
-func (s *Sim) Workers() int { return s.pool.Workers() }
+func (s *SimOf[F]) Workers() int { return s.eng.Workers() }
 
 // NFlow returns the number of particles currently in the flow.
-func (s *Sim) NFlow() int { return s.store.Len() }
+func (s *SimOf[F]) NFlow() int { return s.eng.Store().Len() }
 
 // NReservoir returns the number of particles banked in the reservoir.
-func (s *Sim) NReservoir() int { return s.res.Len() }
+func (s *SimOf[F]) NReservoir() int { return s.dom.res.Len() }
 
 // StepCount returns the number of completed time steps.
-func (s *Sim) StepCount() int { return s.step }
+func (s *SimOf[F]) StepCount() int { return s.eng.StepCount() }
 
 // Collisions returns the cumulative number of collisions performed.
-func (s *Sim) Collisions() int64 { return s.collisions }
+func (s *SimOf[F]) Collisions() int64 { return s.eng.Collisions() }
 
 // Grid returns the cell grid.
-func (s *Sim) Grid() grid.Grid { return s.grid }
+func (s *SimOf[F]) Grid() grid.Grid { return s.grid }
 
 // Volumes returns the per-cell gas volumes (fractional at the wedge).
-func (s *Sim) Volumes() []float64 { return s.vols }
+func (s *SimOf[F]) Volumes() []float64 { return s.vols }
 
 // Rule returns the active selection rule.
-func (s *Sim) Rule() collide.Rule { return s.rule }
+func (s *SimOf[F]) Rule() collide.Rule { return s.eng.Rule() }
 
 // PhaseTimes returns cumulative wall time per sub-step.
-func (s *Sim) PhaseTimes() map[string]time.Duration {
-	out := make(map[string]time.Duration, numPhases)
-	for p := Phase(0); p < numPhases; p++ {
-		out[p.String()] = s.phaseTime[p]
-	}
-	return out
-}
+func (s *SimOf[F]) PhaseTimes() map[string]time.Duration { return s.eng.PhaseTimes() }
 
 // Step advances the simulation one time step through the four sub-steps.
-func (s *Sim) Step() {
-	t0 := time.Now()
-	s.moveBoundaries()
-	t1 := time.Now()
-	s.phaseTime[PhaseMove] += t1.Sub(t0)
-	s.sortByCell()
-	t2 := time.Now()
-	s.phaseTime[PhaseSort] += t2.Sub(t1)
-	s.selectAndCollide()
-	s.res.Relax(&s.r)
-	s.step++
-}
+func (s *SimOf[F]) Step() { s.eng.Step() }
 
 // Run advances n steps.
-func (s *Sim) Run(n int) {
-	for i := 0; i < n; i++ {
-		s.Step()
+func (s *SimOf[F]) Run(n int) { s.eng.Run(n) }
+
+// TotalVibEnergy returns the summed vibrational energy of the flow.
+func (s *SimOf[F]) TotalVibEnergy() float64 { return s.eng.TotalVibEnergy() }
+
+// CellCounts returns the current per-cell particle counts (valid after the
+// sort of the latest step) for samplers.
+func (s *SimOf[F]) CellCounts() []int32 { return s.eng.CellCounts() }
+
+// CellStart returns the cell-major bucket boundaries of the latest sort:
+// cell c's particles are store indices [CellStart()[c], CellStart()[c+1]).
+func (s *SimOf[F]) CellStart() []int32 { return s.eng.CellStart() }
+
+// TotalEnergy returns the flow's total velocity-square sum (diagnostic).
+func (s *SimOf[F]) TotalEnergy() float64 { return s.eng.TotalEnergy() }
+
+// Store exposes the particle store for diagnostics and samplers. The
+// double-buffer swap makes the pointer alternate between two buffers, so
+// re-fetch it after every Step rather than holding it across steps.
+func (s *SimOf[F]) Store() *particle.Store[F] { return s.eng.Store() }
+
+// SampleInto accumulates the current snapshot into acc, sharded over cell
+// ranges on the simulation's worker pool.
+func (s *SimOf[F]) SampleInto(acc *sample.Accumulator) { s.eng.SampleInto(acc) }
+
+// wedgeDomain is the engine Domain of the wind tunnel: grid indexing on
+// the 2D grid, the fused boundary conditions (downstream soft sink into
+// the reservoir, upstream plunger, hard tunnel walls, wedge), and the
+// serial plunger/reservoir bookkeeping around the sharded move pass.
+type wedgeDomain[F kernel.Float] struct {
+	eng  *engine.Engine[F]
+	tun  geom.Tunnel
+	grid grid.Grid
+	wall geom.DiffuseState
+
+	uInf     float64
+	trigger  float64
+	nPerCell float64
+	sigma    float64
+	zvib     float64
+	plungerX float64
+
+	res    *particle.Reservoir
+	resCap int // resolved reservoir capacity (Config default applied)
+	r      rng.Stream
+
+	exits [][]int32 // per-worker downstream-exit lists
+}
+
+// CellIndexer returns the sort's per-particle cell lookup: a closure
+// over the 2D grid reading the engine's live store, so the histogram
+// loop pays a single indirect call per particle.
+func (d *wedgeDomain[F]) CellIndexer() func(i int) int32 {
+	return func(i int) int32 {
+		st := d.eng.Store()
+		return int32(d.grid.CellOf(float64(st.X[i]), float64(st.Y[i])))
 	}
 }
 
-// moveBoundaries performs the collisionless motion (eq. 2) and enforces
-// all boundary conditions — the downstream soft sink (into the
-// reservoir), the upstream plunger, the hard tunnel walls, and the wedge
-// — fused into a single sharded pass over the particle arrays (the two
-// phases used to be separate full traversals of X/Y/U/V). Exiting
-// particles are only recorded in per-worker lists and removed afterwards,
-// so the parallel pass never mutates the store's membership. Finally the
-// plunger trigger is checked and the void refilled.
-func (s *Sim) moveBoundaries() {
-	s.plungerX += s.uInf
-	s.pool.ForIdx(s.store.Len(), s.fnMoveBound)
-	// Remove in descending index order: every particle swapped in from the
-	// end is then a survivor that already received its boundary treatment.
-	for w := len(s.exits) - 1; w >= 0; w-- {
-		ex := s.exits[w]
-		for k := len(ex) - 1; k >= 0; k-- {
-			s.depositToReservoir(int(ex[k]))
-		}
-	}
-	if s.plungerX >= s.cfg.PlungerTrigger {
-		s.refillVoid()
+// PreMove advances the plunger and resets the per-worker exit lists the
+// tiled Boundary calls append to.
+func (d *wedgeDomain[F]) PreMove() {
+	d.plungerX += d.uInf
+	for w := range d.exits {
+		d.exits[w] = d.exits[w][:0]
 	}
 }
 
-func (s *Sim) moveBoundShard(w, lo, hi int) {
-	st := s.store
-	px := s.plungerX
-	uInf := s.uInf
-	ex := s.exits[w][:0]
+// Boundary enforces all boundary conditions on the just-advanced
+// particles [lo, hi) — the downstream soft sink (appended to the
+// worker's exit list, removed in PostMove so the parallel pass never
+// mutates membership), the upstream plunger (specular reflection in the
+// plunger frame), the hard tunnel walls, and the wedge. The geometry
+// runs in float64; the columns round once on write-back. Called once
+// per cache tile (several times per shard, ascending ranges).
+func (d *wedgeDomain[F]) Boundary(st *particle.Store[F], w, lo, hi int) {
+	px := d.plungerX
+	uInf := d.uInf
+	ex := d.exits[w]
 	for i := lo; i < hi; i++ {
-		x := st.X[i] + st.U[i]
-		st.X[i] = x
-		st.Y[i] += st.V[i]
+		x := float64(st.X[i])
 		// Downstream sink: record for removal.
-		if x > s.tun.W {
+		if x > d.tun.W {
 			ex = append(ex, int32(i))
 			continue
 		}
 		// Upstream plunger: specular reflection in the plunger frame.
 		if x < px {
-			st.X[i] = 2*px - x
-			st.U[i] = 2*uInf - st.U[i]
+			st.X[i] = F(2*px - x)
+			st.U[i] = F(2*uInf - float64(st.U[i]))
 		}
-		s.reflectWalls(i)
+		d.reflectWalls(st, i)
 	}
-	s.exits[w] = ex
+	d.exits[w] = ex
 }
+
+// PostMove removes the recorded exits (in descending index order: every
+// particle swapped in from the end is then a survivor that already
+// received its boundary treatment) and refills the plunger void when
+// triggered.
+func (d *wedgeDomain[F]) PostMove() {
+	for w := len(d.exits) - 1; w >= 0; w-- {
+		ex := d.exits[w]
+		for k := len(ex) - 1; k >= 0; k-- {
+			d.depositToReservoir(int(ex[k]))
+		}
+	}
+	if d.plungerX >= d.trigger {
+		d.refillVoid()
+	}
+}
+
+// PostStep relaxes the reservoir bath one step.
+func (d *wedgeDomain[F]) PostStep() { d.res.Relax(&d.r) }
 
 // depositToReservoir moves particle i into the reservoir (velocity is
 // re-drawn there from the rectangular distribution). The resolved
 // capacity bound keeps the reservoir slice at its construction size, so
 // deposits never re-allocate.
-func (s *Sim) depositToReservoir(i int) {
-	if s.res.Len() < s.resCap {
-		s.res.Deposit(&s.r)
+func (d *wedgeDomain[F]) depositToReservoir(i int) {
+	if d.res.Len() < d.resCap {
+		d.res.Deposit(&d.r)
 	}
-	s.store.RemoveSwap(i)
+	d.eng.Store().RemoveSwap(i)
 }
 
 // reflectWalls applies the hard-wall and wedge interactions for particle i.
-func (s *Sim) reflectWalls(i int) {
-	st := s.store
-	p := geom.Vec2{X: st.X[i], Y: st.Y[i]}
-	v := geom.Vec2{X: st.U[i], Y: st.V[i]}
-	if s.cfg.Wall.Model == geom.Specular {
-		p2, v2 := s.tun.ReflectSpecular(p, v)
-		st.X[i], st.Y[i] = p2.X, p2.Y
-		st.U[i], st.V[i] = v2.X, v2.Y
+func (d *wedgeDomain[F]) reflectWalls(st *particle.Store[F], i int) {
+	if d.wall.Model == geom.Specular {
+		p := geom.Vec2{X: float64(st.X[i]), Y: float64(st.Y[i])}
+		v := geom.Vec2{X: float64(st.U[i]), Y: float64(st.V[i])}
+		p2, v2 := d.tun.ReflectSpecular(p, v)
+		st.X[i], st.Y[i] = F(p2.X), F(p2.Y)
+		st.U[i], st.V[i] = F(v2.X), F(v2.Y)
 		return
 	}
-	s.reflectDiffuse(i)
+	d.reflectDiffuse(st, i)
 }
 
 // reflectDiffuse handles the extension wall models: positions are mirrored
@@ -460,20 +408,19 @@ func (s *Sim) reflectWalls(i int) {
 // components re-equilibrate with the wall too. The re-emission draws from
 // the particle's own counter-based stream so the boundary phase can run
 // on any worker count without changing results.
-func (s *Sim) reflectDiffuse(i int) {
-	st := s.store
-	r := s.phaseStream(domainWall, i)
+func (d *wedgeDomain[F]) reflectDiffuse(st *particle.Store[F], i int) {
+	r := d.eng.PhaseStream(layout2D.Wall, i)
 	for b := 0; b < 8; b++ {
-		p := geom.Vec2{X: st.X[i], Y: st.Y[i]}
-		v := geom.Vec2{X: st.U[i], Y: st.V[i]}
+		p := geom.Vec2{X: float64(st.X[i]), Y: float64(st.Y[i])}
+		v := geom.Vec2{X: float64(st.U[i]), Y: float64(st.V[i])}
 		var face geom.Face
 		switch {
 		case p.Y < 0:
 			face = geom.Face{P: geom.Vec2{X: 0, Y: 0}, N: geom.Vec2{X: 0, Y: 1}}
-		case p.Y > s.tun.H:
-			face = geom.Face{P: geom.Vec2{X: 0, Y: s.tun.H}, N: geom.Vec2{X: 0, Y: -1}}
-		case s.tun.Wedge != nil && s.tun.Wedge.Contains(p):
-			faces := s.tun.Wedge.Faces()
+		case p.Y > d.tun.H:
+			face = geom.Face{P: geom.Vec2{X: 0, Y: d.tun.H}, N: geom.Vec2{X: 0, Y: -1}}
+		case d.tun.Wedge != nil && d.tun.Wedge.Contains(p):
+			faces := d.tun.Wedge.Faces()
 			face = faces[0]
 			if faces[1].Depth(p) < faces[0].Depth(p) {
 				face = faces[1]
@@ -482,13 +429,13 @@ func (s *Sim) reflectDiffuse(i int) {
 			return
 		}
 		p = face.MirrorPosition(p)
-		out := s.cfg.Wall.Emit(face, v, &r)
-		st.X[i], st.Y[i] = p.X, p.Y
-		st.U[i], st.V[i] = out.X, out.Y
-		if s.cfg.Wall.Model == geom.DiffuseIsothermal {
-			st.W[i] = s.cfg.Wall.EmitAux(&r)
-			st.R1[i] = s.cfg.Wall.EmitAux(&r)
-			st.R2[i] = s.cfg.Wall.EmitAux(&r)
+		out := d.wall.Emit(face, v, &r)
+		st.X[i], st.Y[i] = F(p.X), F(p.Y)
+		st.U[i], st.V[i] = F(out.X), F(out.Y)
+		if d.wall.Model == geom.DiffuseIsothermal {
+			st.W[i] = F(d.wall.EmitAux(&r))
+			st.R1[i] = F(d.wall.EmitAux(&r))
+			st.R2[i] = F(d.wall.EmitAux(&r))
 		}
 	}
 }
@@ -496,244 +443,48 @@ func (s *Sim) reflectDiffuse(i int) {
 // refillVoid withdraws the plunger to the upstream wall and fills the void
 // it leaves with new particles at freestream conditions, taken from the
 // reservoir when available.
-func (s *Sim) refillVoid() {
-	void := s.plungerX
-	s.plungerX = 0
-	area := void * s.tun.H
-	want := int(area*s.cfg.NPerCell + 0.5)
-	uInf := s.uInf
-	sigma := s.cfg.Free.ComponentSigma()
+func (d *wedgeDomain[F]) refillVoid() {
+	void := d.plungerX
+	d.plungerX = 0
+	area := void * d.tun.H
+	want := int(area*d.nPerCell + 0.5)
+	st := d.eng.Store()
 	for k := 0; k < want; k++ {
-		x := s.r.Float64() * void
-		y := s.r.Float64() * s.tun.H
+		x := d.r.Float64() * void
+		y := d.r.Float64() * d.tun.H
 		var v collide.State5
-		if th, ok := s.res.Withdraw(); ok {
+		if th, ok := d.res.Withdraw(); ok {
 			v = th
 		} else {
 			// Reservoir exhausted: sample the Gaussian directly (the costly
 			// path the reservoir exists to avoid).
 			v = collide.State5{
-				s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
-				s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
+				d.r.Gaussian(0, d.sigma), d.r.Gaussian(0, d.sigma), d.r.Gaussian(0, d.sigma),
+				d.r.Gaussian(0, d.sigma), d.r.Gaussian(0, d.sigma),
 			}
 		}
-		v[0] += uInf
-		idx := s.store.Append(x, y, v)
+		v[0] += d.uInf
+		idx := st.Append(x, y, v)
 		if idx < 0 {
 			return
 		}
-		if s.cfg.ZVib > 0 {
-			s.initVibEquilibrium(idx, idx+1)
+		if d.zvib > 0 {
+			d.initVibEquilibrium(st, idx, idx+1)
 		}
 	}
 }
 
-// sortByCell makes the store cell-major: every particle's cell index is
-// computed, the stable scatter writes the full payload into the shadow
-// store at its cell-major position, the buffers are swapped — sort and
-// physical reorder fused into one sharded pass — and the records inside
-// each cell span are shuffled in place (the role of the paper's sort with
-// the scaled-and-dithered key, candidates re-randomised every step).
-// After this, cell c's particles are the contiguous index range
-// cellStart[c]:cellStart[c+1] of the arrays.
-func (s *Sim) sortByCell() {
-	st := s.store
-	s.sorter.Plan(st.Len(), st.Cell, s.cellOfFn)
-	s.sorter.ScatterStore(st, s.shadow)
-	s.store, s.shadow = s.shadow, s.store
-	s.sorter.Shuffle(s.cfg.Seed, s.epoch(domainSort), s.swapFn)
-}
-
-// selectAndCollide pairs adjacent candidates within each cell-major span,
-// applies the selection rule, and collides accepted pairs. The work is
-// sharded over cell ranges: cells own disjoint contiguous index ranges
-// and each draws from its own streams, so any worker count produces
-// identical collisions. Each shard runs selection over all its cells
-// first and then collides the accepted pairs, so the paper's
-// select/collide breakdown costs three clock reads per shard instead of
-// two per non-empty cell.
-func (s *Sim) selectAndCollide() {
-	nc := s.grid.Cells()
-	if s.cfg.Scheme != nil {
-		// Pluggable scheme path (baselines): gather cells, delegate.
-		t0 := time.Now()
-		s.pool.ForIdx(nc, s.fnScheme)
-		for _, c := range s.colls {
-			s.collisions += c
+// initVibEquilibrium samples the vibrational energies of particles
+// [lo, hi) from the equilibrium (exponential) distribution for two
+// continuous vibrational degrees of freedom at the freestream
+// temperature: mean 2·sigma² in the Σv² energy units used throughout.
+func (d *wedgeDomain[F]) initVibEquilibrium(st *particle.Store[F], lo, hi int) {
+	mean := 2 * d.sigma * d.sigma
+	for i := lo; i < hi; i++ {
+		u := d.r.Float64()
+		for u == 0 {
+			u = d.r.Float64()
 		}
-		s.phaseTime[PhaseCollide] += time.Since(t0)
-		return
+		st.Evib[i] = F(-mean * math.Log(u))
 	}
-	// Default McDonald–Baganoff path, operating in place.
-	s.pool.ForIdx(nc, s.fnSelCol)
-	// A concurrent section's wall time is its slowest shard; if the pool
-	// fell back to serial dispatch the shards ran back-to-back and their
-	// times add instead. Per-worker times are written before the pool's
-	// barrier and read after it, so the breakdown stays race-free.
-	s.phaseTime[PhaseSelect] += shardWall(s.pool.Parallel(nc), s.selW)
-	s.phaseTime[PhaseCollide] += shardWall(s.pool.Parallel(nc), s.colW)
-	for _, c := range s.colls {
-		s.collisions += c
-	}
-}
-
-// selColShard is one worker's cell range of the default select+collide
-// path. Selection streams the velocity columns of the shard's contiguous
-// particle range once, recording accepted pairs; the collide sub-loop
-// then revisits only the accepted records. Selection and collision draw
-// from distinct per-cell stream domains so the two sub-loops stay
-// deterministic for any worker count.
-func (s *Sim) selColShard(w, clo, chi int) {
-	st := s.store
-	cellStart := s.sorter.CellStart()
-	zvib := s.cfg.ZVib > 0
-	t0 := time.Now()
-	picks := s.picksW[w][:0]
-	for c := clo; c < chi; c++ {
-		lo, hi := int(cellStart[c]), int(cellStart[c+1])
-		cnt := hi - lo
-		if cnt < 2 {
-			continue
-		}
-		r := s.phaseStream(domainSelect, c)
-		vol := s.vols[c]
-		for a := lo; a+1 < hi; a += 2 {
-			du := st.U[a] - st.U[a+1]
-			dv := st.V[a] - st.V[a+1]
-			dw := st.W[a] - st.W[a+1]
-			g := math.Sqrt(du*du + dv*dv + dw*dw)
-			p := s.rule.Prob(cnt, vol, g)
-			if p == 1 || r.Float64() < p {
-				picks = append(picks, pairPick{int32(a), int32(c)})
-			}
-		}
-	}
-	t1 := time.Now()
-	var r rng.Stream
-	cur := int32(-1)
-	var coll int64
-	for _, pk := range picks {
-		if pk.c != cur {
-			cur = pk.c
-			r = s.phaseStream(domainCollide, int(cur))
-		}
-		ia, ib := int(pk.a), int(pk.a)+1
-		va, vb := st.Vel(ia), st.Vel(ib)
-		perm := rng.RandomPerm5(s.bm.Table, &r)
-		collide.Collide(&va, &vb, perm, r.Uint32())
-		if zvib {
-			s.vibExchange(&va, &vb, ia, ib, &r)
-		}
-		st.SetVel(ia, va)
-		st.SetVel(ib, vb)
-		coll++
-	}
-	s.picksW[w] = picks
-	s.selW[w], s.colW[w] = t1.Sub(t0), time.Since(t1)
-	s.colls[w] = coll
-}
-
-// schemeShard is one worker's cell range of the pluggable-scheme path:
-// each cell span is copied contiguously into the worker's scratch buffer,
-// handed to the scheme, and written back.
-func (s *Sim) schemeShard(w, clo, chi int) {
-	st := s.store
-	cellStart := s.sorter.CellStart()
-	var coll int64
-	for c := clo; c < chi; c++ {
-		lo, hi := int(cellStart[c]), int(cellStart[c+1])
-		if hi-lo < 2 {
-			continue
-		}
-		if cap(s.scratchW[w]) < hi-lo {
-			s.scratchW[w] = make([]collide.State5, hi-lo)
-		}
-		cellParts := s.scratchW[w][:hi-lo]
-		for k := range cellParts {
-			cellParts[k] = st.Vel(lo + k)
-		}
-		r := s.phaseStream(domainCollide, c)
-		coll += int64(s.cfg.Scheme.CollideCell(cellParts, s.vols[c], s.rule, &r))
-		for k := range cellParts {
-			st.SetVel(lo+k, cellParts[k])
-		}
-	}
-	s.colls[w] = coll
-}
-
-func shardWall(concurrent bool, ds []time.Duration) time.Duration {
-	var m, sum time.Duration
-	for _, d := range ds {
-		sum += d
-		if d > m {
-			m = d
-		}
-	}
-	if concurrent {
-		return m
-	}
-	return sum
-}
-
-// vibExchange applies the continuous vibrational relaxation to a just-
-// collided pair: the pair's relative translational energy and the two
-// vibrational reservoirs are redistributed (collide.VibExchange), and the
-// relative translational velocity is rescaled so total energy is
-// conserved exactly. The pair mean is untouched, so momentum is
-// conserved too.
-func (s *Sim) vibExchange(va, vb *collide.State5, ia, ib int, r *rng.Stream) {
-	du := va[0] - vb[0]
-	dv := va[1] - vb[1]
-	dw := va[2] - vb[2]
-	eTr := (du*du + dv*dv + dw*dw) / 2
-	if eTr <= 0 {
-		return
-	}
-	st := s.store
-	eTrNew, ea, eb := collide.VibExchange(eTr, st.Evib[ia], st.Evib[ib], s.cfg.ZVib, r)
-	st.Evib[ia], st.Evib[ib] = ea, eb
-	if eTrNew == eTr {
-		return
-	}
-	scale := math.Sqrt(eTrNew / eTr)
-	for k := 0; k < 3; k++ {
-		mean := (va[k] + vb[k]) / 2
-		half := (va[k] - vb[k]) / 2 * scale
-		va[k] = mean + half
-		vb[k] = mean - half
-	}
-}
-
-// TotalVibEnergy returns the summed vibrational energy of the flow.
-func (s *Sim) TotalVibEnergy() float64 {
-	var e float64
-	for i := 0; i < s.store.Len(); i++ {
-		e += s.store.Evib[i]
-	}
-	return e
-}
-
-// CellCounts returns the current per-cell particle counts (valid after the
-// sort of the latest step) for samplers.
-func (s *Sim) CellCounts() []int32 { return s.sorter.Counts() }
-
-// CellStart returns the cell-major bucket boundaries of the latest sort:
-// cell c's particles are store indices [CellStart()[c], CellStart()[c+1]).
-func (s *Sim) CellStart() []int32 { return s.sorter.CellStart() }
-
-// TotalEnergy returns the flow's total velocity-square sum (diagnostic).
-func (s *Sim) TotalEnergy() float64 { return s.store.TotalEnergy() }
-
-// Store exposes the particle store for diagnostics and samplers. The
-// double-buffer swap makes the pointer alternate between two buffers, so
-// re-fetch it after every Step rather than holding it across steps.
-func (s *Sim) Store() *particle.Store { return s.store }
-
-// SampleInto accumulates the current snapshot into acc, sharded over cell
-// ranges on the simulation's worker pool. Valid after a completed step
-// (the cell-major layout of the latest sort must be current). The
-// per-cell accumulation order follows the store order, so the sums are
-// bit-identical for any worker count.
-func (s *Sim) SampleInto(acc *sample.Accumulator) {
-	acc.AddFlowCellMajor(s.store, s.sorter.CellStart(), s.pool.For)
 }

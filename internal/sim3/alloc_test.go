@@ -1,15 +1,20 @@
 package sim3
 
-import "testing"
+import (
+	"testing"
 
-// TestStepAllocationFree3D: the 3D backend's steady-state Step must also
-// be allocation-free; the config crosses par's serial cutoff in both
-// shard dimensions (2560 cells, ~20k particles) so the concurrent
-// dispatch path is the one measured.
-func TestStepAllocationFree3D(t *testing.T) {
+	"dsmc/internal/kernel"
+)
+
+// testStepAllocationFree3D: the 3D backend's steady-state Step must also
+// be allocation-free in either storage precision; the config crosses
+// par's serial cutoff in both shard dimensions (2560 cells, ~20k
+// particles) so the concurrent dispatch path is the one measured.
+func testStepAllocationFree3D[F kernel.Float](t *testing.T) {
+	t.Helper()
 	cfg := detConfig()
 	cfg.Workers = 4
-	s, err := New(cfg)
+	s, err := NewOf[F](cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,6 +23,9 @@ func TestStepAllocationFree3D(t *testing.T) {
 		t.Errorf("steady-state Step allocates %.2f times per call, want 0", avg)
 	}
 }
+
+func TestStepAllocationFree3D(t *testing.T)        { testStepAllocationFree3D[float64](t) }
+func TestStepAllocationFree3DFloat32(t *testing.T) { testStepAllocationFree3D[float32](t) }
 
 // TestCellMajorInvariant3D: after a step the 3D store must be physically
 // cell-major and each cell index consistent with the particle's position.

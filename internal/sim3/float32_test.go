@@ -1,0 +1,69 @@
+package sim3
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFloat32ParallelDeterminism3D: the float32 shock tube must also be
+// bit-identical for any worker count (same counter-based streams, only
+// the stored columns narrow).
+func TestFloat32ParallelDeterminism3D(t *testing.T) {
+	run := func(workers int) *SimOf[float32] {
+		cfg := detConfig()
+		cfg.Workers = workers
+		s, err := NewOf[float32](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(25)
+		return s
+	}
+	s1, s8 := run(1), run(8)
+	if s1.Collisions() != s8.Collisions() || s1.N() != s8.N() {
+		t.Fatalf("collisions %d vs %d, particles %d vs %d",
+			s1.Collisions(), s8.Collisions(), s1.N(), s8.N())
+	}
+	a, b := s1.Store(), s8.Store()
+	for i := 0; i < s1.N(); i++ {
+		if math.Float32bits(a.X[i]) != math.Float32bits(b.X[i]) ||
+			math.Float32bits(a.U[i]) != math.Float32bits(b.U[i]) {
+			t.Fatalf("state diverged at particle %d", i)
+		}
+	}
+}
+
+// TestPistonShockRankineHugoniotFloat32 is the 3D validation experiment
+// on the float32 backend: the piston-driven normal shock must propagate
+// at the theoretical speed and compress the gas by the Rankine–Hugoniot
+// ratio, within tolerances loosened one notch over the float64 test.
+func TestPistonShockRankineHugoniotFloat32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: 3D shock tube")
+	}
+	cfg := tubeConfig()
+	s, err := NewOf[float32](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpeed, wantRatio := cfg.Theory()
+
+	s.Run(250)
+	x0 := s.ShockPosition()
+	const window = 350
+	s.Run(window)
+	x1 := s.ShockPosition()
+	if math.IsNaN(x0) || math.IsNaN(x1) {
+		t.Fatal("shock front not found")
+	}
+	speed := (x1 - x0) / window
+	if math.Abs(speed-wantSpeed)/wantSpeed > 0.15 {
+		t.Errorf("float32 shock speed %.4f cells/step, theory %.4f", speed, wantSpeed)
+	}
+	if ratio := s.PostShockDensity(); math.Abs(ratio-wantRatio)/wantRatio > 0.15 {
+		t.Errorf("float32 post-shock density %.2f, theory %.2f", ratio, wantRatio)
+	}
+	if s.PistonX() >= x1 {
+		t.Errorf("piston at %v passed the shock at %v", s.PistonX(), x1)
+	}
+}

@@ -6,6 +6,14 @@
 // and the density rise behind it are classical Rankine–Hugoniot results,
 // giving the 3D code an exact validation target just as the oblique shock
 // validates the 2D code.
+//
+// The phase pipeline is the shared cell-major engine (internal/engine);
+// this package supplies only the 3D parts — box grid indexing, the
+// piston + five specular walls — as the engine's Domain, plus
+// configuration and the shock diagnostics. Sim is the float64
+// instantiation (bit-identical to the pre-unification backend, pinned by
+// internal/golden); NewOf[float32] runs the same physics at half the
+// memory traffic.
 package sim3
 
 import (
@@ -13,6 +21,8 @@ import (
 	"math"
 
 	"dsmc/internal/collide"
+	"dsmc/internal/engine"
+	"dsmc/internal/kernel"
 	"dsmc/internal/molec"
 	"dsmc/internal/par"
 	"dsmc/internal/particle"
@@ -31,20 +41,25 @@ func (g Grid3) Cells() int { return g.NX * g.NY * g.NZ }
 // Index returns the distinct index of cell (ix, iy, iz).
 func (g Grid3) Index(ix, iy, iz int) int { return (iz*g.NY+iy)*g.NX + ix }
 
+// clampCell floors a coordinate to its cell index, clamping edge
+// coordinates into [0, n). Package-level (rather than a closure inside
+// CellOf) so the per-particle cell lookup of the move phase carries no
+// closure construction.
+func clampCell(v float64, n int) int {
+	i := int(math.Floor(v))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 // CellOf returns the cell containing a position, clamping edge
 // coordinates inward.
 func (g Grid3) CellOf(x, y, z float64) int {
-	clamp := func(v float64, n int) int {
-		i := int(math.Floor(v))
-		if i < 0 {
-			i = 0
-		}
-		if i >= n {
-			i = n - 1
-		}
-		return i
-	}
-	return g.Index(clamp(x, g.NX), clamp(y, g.NY), clamp(z, g.NZ))
+	return g.Index(clampCell(x, g.NX), clampCell(y, g.NY), clampCell(z, g.NZ))
 }
 
 // Config specifies the 3D shock-tube simulation.
@@ -107,58 +122,33 @@ func (c *Config) model() molec.Model {
 	return c.Model
 }
 
-// Sim is a running 3D shock-tube simulation. Like the 2D reference
-// backend, the particle store is kept cell-major: each step the sort's
-// scatter writes the payload into the shadow store and the buffers swap,
-// so the collide sweep walks contiguous cell spans with no indirection,
-// and a steady-state Step performs zero heap allocations (all dispatch
-// closures and scratch are built at construction).
-type Sim struct {
+// layout3D is the 3D backend's stream-domain encoding, preserved exactly
+// from the pre-unification code: two domains per step — the in-cell
+// shuffle and the collide stream, which the fused selection also draws
+// from. Select/Wall alias Collide but are never consumed (FusedSelect,
+// specular walls).
+var layout3D = engine.StreamLayout{NumDomains: 2, Sort: 0, Select: 1, Collide: 1, Wall: 1}
+
+// Sim is the float64 shock-tube simulation — the reference precision.
+type Sim = SimOf[float64]
+
+// SimOf is a running 3D shock-tube simulation at storage precision F,
+// on the shared cell-major engine (double-buffered scatter, in-cell
+// shuffle, allocation-free steady-state Step).
+type SimOf[F kernel.Float] struct {
 	cfg  Config
 	grid Grid3
-
-	store  *particle.Store // 3D store (Z column), cell-major after each sort
-	shadow *particle.Store // scatter target, swapped with store each step
-
-	rule    collide.Rule
-	table   []rng.Perm5
-	r       rng.Stream
-	pistonX float64
-	stepN   int
-
-	pool     *par.Pool
-	sorter   *par.CellSort
-	colls    []int64
-	collided int64
-
-	// Prebuilt shard bodies for allocation-free pool dispatch.
-	fnMove   func(w, lo, hi int)
-	fnSelCol func(w, clo, chi int)
-	cellOfFn func(i int) int32
-	swapFn   func(i, j int)
+	eng  *engine.Engine[F]
+	dom  *tubeDomain[F]
 }
 
-// The per-step stream domains of the 3D backend (epochs for rng.StreamAt).
-const (
-	domainSort = iota // in-cell shuffle (lane = cell)
-	domainCollide
-	numDomains
-)
+// New builds a float64 (reference-precision) shock tube filled with gas
+// at rest.
+func New(cfg Config) (*Sim, error) { return NewOf[float64](cfg) }
 
-// epoch encodes (step, domain) into the epoch word of rng.StreamAt; the
-// single definition keeps the phases on disjoint stream coordinates.
-func (s *Sim) epoch(domain int) uint64 {
-	return uint64(s.stepN)*numDomains + uint64(domain)
-}
-
-// phaseStream returns the counter-based stream of one cell for one phase
-// of the current step.
-func (s *Sim) phaseStream(domain, cell int) rng.Stream {
-	return rng.StreamAt(s.cfg.Seed, s.epoch(domain), uint64(cell))
-}
-
-// New builds and fills the shock tube with gas at rest.
-func New(cfg Config) (*Sim, error) {
+// NewOf builds and fills the shock tube with gas at rest, at storage
+// precision F.
+func NewOf[F kernel.Float](cfg Config) (*SimOf[F], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,192 +156,156 @@ func New(cfg Config) (*Sim, error) {
 	g := Grid3{cfg.NX, cfg.NY, cfg.NZ}
 	n := int(cfg.NPerCell * float64(g.Cells()))
 	free := phys.Freestream{Mach: 2, Cm: cfg.Cm, Lambda: cfg.Lambda, Gamma: model.Gamma()}
-	s := &Sim{
-		cfg:    cfg,
-		grid:   g,
-		store:  particle.NewStore3(n),
-		shadow: particle.NewStore3(n),
-		rule: collide.Rule{
+
+	pool := par.New(cfg.Workers)
+	dom := &tubeDomain[F]{
+		grid:  g,
+		w:     float64(cfg.NX),
+		h:     float64(cfg.NY),
+		d:     float64(cfg.NZ),
+		speed: cfg.PistonSpeed,
+	}
+	store := particle.NewStore3[F](n)
+	shadow := particle.NewStore3[F](n)
+	eng := engine.New(engine.Config{
+		Cells: g.Cells(),
+		Seed:  cfg.Seed,
+		Rule: collide.Rule{
 			Model:      model,
 			PInf:       free.SelectionPInf(),
 			NInf:       cfg.NPerCell,
 			GInf:       math.Sqrt2 * free.MeanSpeed(),
 			CollideAll: cfg.Lambda <= 0,
 		},
-		table: rng.Perm5Table(),
-		r:     rng.NewStream(cfg.Seed),
-		pool:  par.New(cfg.Workers),
-	}
-	s.sorter = par.NewCellSort(s.pool, g.Cells())
-	s.colls = make([]int64, s.pool.Workers())
-	s.fnMove = s.moveShard
-	s.fnSelCol = s.selColShard
-	s.cellOfFn = func(i int) int32 {
-		st := s.store
-		return int32(s.grid.CellOf(st.X[i], st.Y[i], st.Z[i]))
-	}
-	s.swapFn = func(i, j int) { s.store.Swap(i, j) }
+		Layout:      layout3D,
+		FusedSelect: true,
+	}, dom, pool, store, shadow)
+	dom.eng = eng
+
+	r := rng.NewStream(cfg.Seed)
 	sigma := free.ComponentSigma()
-	st := s.store
-	st.SetLen(n)
+	store.SetLen(n)
 	for i := 0; i < n; i++ {
-		st.X[i] = s.r.Float64() * float64(cfg.NX)
-		st.Y[i] = s.r.Float64() * float64(cfg.NY)
-		st.Z[i] = s.r.Float64() * float64(cfg.NZ)
-		st.SetVel(i, collide.State5{
-			s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
-			s.r.Gaussian(0, sigma), s.r.Gaussian(0, sigma),
+		store.X[i] = F(r.Float64() * float64(cfg.NX))
+		store.Y[i] = F(r.Float64() * float64(cfg.NY))
+		store.Z[i] = F(r.Float64() * float64(cfg.NZ))
+		store.SetVel(i, collide.State5{
+			r.Gaussian(0, sigma), r.Gaussian(0, sigma), r.Gaussian(0, sigma),
+			r.Gaussian(0, sigma), r.Gaussian(0, sigma),
 		})
 	}
-	return s, nil
+	return &SimOf[F]{cfg: cfg, grid: g, eng: eng, dom: dom}, nil
 }
 
 // N returns the particle count.
-func (s *Sim) N() int { return s.store.Len() }
+func (s *SimOf[F]) N() int { return s.eng.Store().Len() }
 
 // Store exposes the particle store for diagnostics. The double-buffer
 // swap makes the pointer alternate between two buffers, so re-fetch it
 // after every Step rather than holding it across steps.
-func (s *Sim) Store() *particle.Store { return s.store }
+func (s *SimOf[F]) Store() *particle.Store[F] { return s.eng.Store() }
 
 // CellStart returns the cell-major bucket boundaries of the latest sort.
-func (s *Sim) CellStart() []int32 { return s.sorter.CellStart() }
+func (s *SimOf[F]) CellStart() []int32 { return s.eng.CellStart() }
 
 // PistonX returns the piston position.
-func (s *Sim) PistonX() float64 { return s.pistonX }
+func (s *SimOf[F]) PistonX() float64 { return s.dom.pistonX }
 
 // StepCount returns completed steps.
-func (s *Sim) StepCount() int { return s.stepN }
+func (s *SimOf[F]) StepCount() int { return s.eng.StepCount() }
 
 // Workers returns the resolved worker count of the phase pool.
-func (s *Sim) Workers() int { return s.pool.Workers() }
+func (s *SimOf[F]) Workers() int { return s.eng.Workers() }
 
 // Collisions returns the cumulative collision count.
-func (s *Sim) Collisions() int64 { return s.collided }
+func (s *SimOf[F]) Collisions() int64 { return s.eng.Collisions() }
 
 // Step advances one time step: 3D motion, boundaries (piston + five
 // specular walls), 3D cell sort, selection and collision.
-func (s *Sim) Step() {
-	s.move()
-	s.sortByCell()
-	s.selectAndCollide()
-	s.stepN++
-}
+func (s *SimOf[F]) Step() { s.eng.Step() }
 
 // Run advances n steps.
-func (s *Sim) Run(n int) {
-	for i := 0; i < n; i++ {
-		s.Step()
+func (s *SimOf[F]) Run(n int) { s.eng.Run(n) }
+
+// tubeDomain is the engine Domain of the shock tube: box grid indexing
+// and the piston + five specular walls. The boundaries consume no
+// randomness, so the sharded pass is trivially deterministic.
+type tubeDomain[F kernel.Float] struct {
+	eng     *engine.Engine[F]
+	grid    Grid3
+	w, h, d float64
+	speed   float64
+	pistonX float64
+}
+
+// CellIndexer returns the sort's per-particle cell lookup: a closure
+// over the box grid reading the engine's live store.
+func (t *tubeDomain[F]) CellIndexer() func(i int) int32 {
+	return func(i int) int32 {
+		st := t.eng.Store()
+		return int32(t.grid.CellOf(float64(st.X[i]), float64(st.Y[i]), float64(st.Z[i])))
 	}
 }
 
-// move advances positions and applies the piston and the five specular
-// walls, sharded over contiguous particle chunks (the 3D boundaries
-// consume no randomness, so the shard is trivially deterministic).
-func (s *Sim) move() {
-	s.pistonX += s.cfg.PistonSpeed
-	s.pool.ForIdx(s.store.Len(), s.fnMove)
-}
+// PreMove advances the piston.
+func (t *tubeDomain[F]) PreMove() { t.pistonX += t.speed }
 
-func (s *Sim) moveShard(_, lo, hi int) {
-	st := s.store
-	w := float64(s.cfg.NX)
-	h := float64(s.cfg.NY)
-	d := float64(s.cfg.NZ)
-	px := s.pistonX
-	up2 := 2 * s.cfg.PistonSpeed
+// Boundary applies the piston face (specular in the piston frame) and
+// the five fixed specular walls to the just-advanced particles [lo, hi).
+// The geometry runs in float64; the columns round once on write-back.
+func (t *tubeDomain[F]) Boundary(st *particle.Store[F], _, lo, hi int) {
+	w, h, d := t.w, t.h, t.d
+	px := t.pistonX
+	up2 := 2 * t.speed
 	for i := lo; i < hi; i++ {
-		st.X[i] += st.U[i]
-		st.Y[i] += st.V[i]
-		st.Z[i] += st.W[i]
+		x := float64(st.X[i])
 		// Piston face (specular in the piston frame) and far wall.
-		if st.X[i] < px {
-			st.X[i] = 2*px - st.X[i]
-			st.U[i] = up2 - st.U[i]
+		if x < px {
+			x = 2*px - x
+			st.X[i] = F(x)
+			st.U[i] = F(up2 - float64(st.U[i]))
 		}
-		if st.X[i] > w {
-			st.X[i] = 2*w - st.X[i]
+		if x > w {
+			st.X[i] = F(2*w - x)
 			if st.U[i] > 0 {
 				st.U[i] = -st.U[i]
 			}
 		}
 		// Side walls.
-		if st.Y[i] < 0 {
-			st.Y[i] = -st.Y[i]
+		y := float64(st.Y[i])
+		if y < 0 {
+			y = -y
+			st.Y[i] = F(y)
 			st.V[i] = -st.V[i]
 		}
-		if st.Y[i] > h {
-			st.Y[i] = 2*h - st.Y[i]
+		if y > h {
+			st.Y[i] = F(2*h - y)
 			st.V[i] = -st.V[i]
 		}
-		if st.Z[i] < 0 {
-			st.Z[i] = -st.Z[i]
+		z := float64(st.Z[i])
+		if z < 0 {
+			z = -z
+			st.Z[i] = F(z)
 			st.W[i] = -st.W[i]
 		}
-		if st.Z[i] > d {
-			st.Z[i] = 2*d - st.Z[i]
+		if z > d {
+			st.Z[i] = F(2*d - z)
 			st.W[i] = -st.W[i]
 		}
 	}
 }
 
-// sortByCell makes the 3D store cell-major via the shared fused sort
-// (par.CellSort): per-worker histograms over particle chunks, a stable
-// sharded scatter of the full payload into the shadow store, a buffer
-// swap, and a per-cell-stream in-place record shuffle over cell ranges.
-func (s *Sim) sortByCell() {
-	st := s.store
-	s.sorter.Plan(st.Len(), st.Cell, s.cellOfFn)
-	s.sorter.ScatterStore(st, s.shadow)
-	s.store, s.shadow = s.shadow, s.store
-	s.sorter.Shuffle(s.cfg.Seed, s.epoch(domainSort), s.swapFn)
-}
+// PostMove is a no-op: the shock tube is closed, no particle ever leaves.
+func (t *tubeDomain[F]) PostMove() {}
 
-// selectAndCollide shards the cells over the pool; each cell collides
-// from its own stream and owns a disjoint contiguous particle range of
-// the cell-major store.
-func (s *Sim) selectAndCollide() {
-	s.pool.ForIdx(s.grid.Cells(), s.fnSelCol)
-	for _, c := range s.colls {
-		s.collided += c
-	}
-}
-
-func (s *Sim) selColShard(w, clo, chi int) {
-	st := s.store
-	cellStart := s.sorter.CellStart()
-	var coll int64
-	for c := clo; c < chi; c++ {
-		lo, hi := int(cellStart[c]), int(cellStart[c+1])
-		cnt := hi - lo
-		if cnt < 2 {
-			continue
-		}
-		r := s.phaseStream(domainCollide, c)
-		for a := lo; a+1 < hi; a += 2 {
-			du := st.U[a] - st.U[a+1]
-			dv := st.V[a] - st.V[a+1]
-			dw := st.W[a] - st.W[a+1]
-			g := math.Sqrt(du*du + dv*dv + dw*dw)
-			p := s.rule.Prob(cnt, 1, g)
-			if p == 1 || r.Float64() < p {
-				va, vb := st.Vel(a), st.Vel(a+1)
-				perm := rng.RandomPerm5(s.table, &r)
-				collide.Collide(&va, &vb, perm, r.Uint32())
-				st.SetVel(a, va)
-				st.SetVel(a+1, vb)
-				coll++
-			}
-		}
-	}
-	s.colls[w] = coll
-}
+// PostStep is a no-op: there is no reservoir.
+func (t *tubeDomain[F]) PostStep() {}
 
 // DensityProfile returns the particle density along x (averaged over the
 // cross-section), normalised by the initial density.
-func (s *Sim) DensityProfile() []float64 {
+func (s *SimOf[F]) DensityProfile() []float64 {
 	prof := make([]float64, s.cfg.NX)
-	st := s.store
+	st := s.eng.Store()
 	for i := 0; i < st.Len(); i++ {
 		ix := int(st.X[i])
 		if ix < 0 {
@@ -373,11 +327,11 @@ func (s *Sim) DensityProfile() []float64 {
 // falls through the half-rise level between the post-shock plateau and
 // the quiescent gas, scanning downstream from the piston. Returns NaN if
 // no front is found.
-func (s *Sim) ShockPosition() float64 {
+func (s *SimOf[F]) ShockPosition() float64 {
 	prof := s.DensityProfile()
 	_, ratio := s.cfg.Theory()
 	level := (1 + ratio) / 2
-	start := int(s.pistonX)
+	start := int(s.dom.pistonX)
 	if start < 0 {
 		start = 0
 	}
@@ -393,12 +347,12 @@ func (s *Sim) ShockPosition() float64 {
 // PostShockDensity averages the density between the piston and the shock
 // (excluding two cells of cushion at each end); NaN when the region is
 // too thin.
-func (s *Sim) PostShockDensity() float64 {
+func (s *SimOf[F]) PostShockDensity() float64 {
 	shock := s.ShockPosition()
 	if math.IsNaN(shock) {
 		return math.NaN()
 	}
-	lo := int(s.pistonX) + 2
+	lo := int(s.dom.pistonX) + 2
 	hi := int(shock) - 2
 	if hi <= lo {
 		return math.NaN()
@@ -413,13 +367,14 @@ func (s *Sim) PostShockDensity() float64 {
 
 // TotalEnergyAndMomentum returns the conservation diagnostics (the piston
 // does work, so energy grows; y/z momentum must stay near zero).
-func (s *Sim) TotalEnergyAndMomentum() (energy, py, pz float64) {
-	st := s.store
+func (s *SimOf[F]) TotalEnergyAndMomentum() (energy, py, pz float64) {
+	st := s.eng.Store()
 	for i := 0; i < st.Len(); i++ {
-		energy += st.U[i]*st.U[i] + st.V[i]*st.V[i] + st.W[i]*st.W[i] +
-			st.R1[i]*st.R1[i] + st.R2[i]*st.R2[i]
-		py += st.V[i]
-		pz += st.W[i]
+		u, v, w := float64(st.U[i]), float64(st.V[i]), float64(st.W[i])
+		r1, r2 := float64(st.R1[i]), float64(st.R2[i])
+		energy += u*u + v*v + w*w + r1*r1 + r2*r2
+		py += v
+		pz += w
 	}
 	return energy, py, pz
 }
