@@ -1,0 +1,48 @@
+package dsmc
+
+import (
+	"errors"
+	"io"
+)
+
+// Checkpoint writes a compact binary snapshot of the simulation's full
+// mutable state — particle columns at the configured storage precision,
+// reservoir contents, RNG state, and the step/collision counters that
+// key the per-phase randomness — such that restoring it into a
+// simulation of the same configuration and continuing is bit-identical
+// to never having stopped, at any worker count. The stream carries a
+// checksum; corruption is detected on restore.
+//
+// Only the Reference backend checkpoints; the ConnectionMachine backend
+// returns an error.
+func (s *Simulation) Checkpoint(w io.Writer) error {
+	if s.ref == nil {
+		return errors.New("dsmc: the ConnectionMachine backend does not support checkpointing")
+	}
+	return s.ref.WriteCheckpoint(w)
+}
+
+// Restore replaces the simulation's state with a checkpoint written by
+// Checkpoint. The simulation must have been built from the same
+// configuration — grid shape and precision are validated against the
+// stream header — but the worker count is free to differ: per-phase
+// randomness is counter-based, so no worker-local state exists.
+func (s *Simulation) Restore(r io.Reader) error {
+	if s.ref == nil {
+		return errors.New("dsmc: the ConnectionMachine backend does not support checkpointing")
+	}
+	return s.ref.ReadCheckpoint(r)
+}
+
+// RestoreSimulation builds a simulation from the configuration and
+// restores a checkpoint into it in one call.
+func RestoreSimulation(c Config, r io.Reader) (*Simulation, error) {
+	s, err := NewSimulation(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,24 +1,29 @@
 // Command bench runs the key step benchmarks outside `go test` and
 // writes a machine-readable record of the performance trajectory
-// (BENCH_PR3.json): wall-clock µs/particle/step for the paper's
+// (BENCH_PR4.json): wall-clock µs/particle/step for the paper's
 // near-continuum and rarefied cases, a float32-vs-float64 precision
-// sweep over the engine backends, and the worker sweep at paper scale,
+// sweep over the engine backends, the worker sweep at paper scale, and
+// an ensemble-throughput case (replica jobs/minute through the
+// run-orchestration subsystem at outer pool sizes 1 and NumCPU),
 // optionally compared against a previously recorded baseline file. The
+// -cpuprofile/-memprofile flags capture pprof profiles of the run. The
 // record also flags whether the host is multi-core, so scaling numbers
 // from single-core CI hosts are not mistaken for the real worker-scaling
 // trajectory.
 //
-//	go run ./cmd/bench -out BENCH_PR3.json -baseline BENCH_PR2.json
+//	go run ./cmd/bench -out BENCH_PR4.json -baseline BENCH_PR3.json
 //	go run ./cmd/bench -quick   # CI smoke: few steps, still all cases
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,17 +57,23 @@ type Case struct {
 	Name string `json:"name"`
 	// Precision is the storage precision of the engine backends
 	// ("float64" unless the case name carries a /f32 suffix).
-	Precision         string  `json:"precision,omitempty"`
-	Workers           int     `json:"workers"`
-	Particles         int     `json:"particles"`
-	NsPerStep         float64 `json:"ns_per_step"`
-	UsPerParticleStep float64 `json:"us_per_particle_step"`
+	Precision string `json:"precision,omitempty"`
+	Workers   int    `json:"workers"`
+	Particles int    `json:"particles"`
+	// Step-benchmark cases; zero (omitted) on ensemble-throughput cases.
+	NsPerStep         float64 `json:"ns_per_step,omitempty"`
+	UsPerParticleStep float64 `json:"us_per_particle_step,omitempty"`
 	// Set when -baseline names a file containing the same case.
 	BaselineUsPerParticleStep float64 `json:"baseline_us_per_particle_step,omitempty"`
 	SpeedupVsBaseline         float64 `json:"speedup_vs_baseline,omitempty"`
 	// Set on /f32 cases whose float64 twin is in the same record:
 	// float64 µs/particle/step divided by this case's.
 	SpeedupVsFloat64 float64 `json:"speedup_vs_float64,omitempty"`
+	// Ensemble-throughput cases: completed replica jobs and the rate.
+	// On a single-core host (multi_core: false) the pool sizes measure
+	// scheduling overhead, not outer-level scaling.
+	Jobs          int     `json:"jobs,omitempty"`
+	JobsPerMinute float64 `json:"jobs_per_minute,omitempty"`
 }
 
 type stepper interface {
@@ -75,14 +86,41 @@ type sim3Adapter[F kernel.Float] struct{ *sim3.SimOf[F] }
 func (a sim3Adapter[F]) NFlow() int { return a.N() }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier bench JSON to compute speedups against")
 	warm := flag.Int("warm", 30, "warm-up steps per case (past the initial transient)")
 	steps := flag.Int("steps", 40, "measured steps per case")
 	sweepPerCell := flag.Float64("sweep-percell", 75, "particles/cell of the worker sweep (75 = paper scale)")
 	repeat := flag.Int("repeat", 1, "measurement windows per case; the fastest is recorded (use 3+ on noisy hosts)")
 	quick := flag.Bool("quick", false, "CI smoke mode: 3 warm-up and 3 measured steps (unless -warm/-steps are given explicitly)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all cases) to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("bench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("bench: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("bench: -memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("bench: -memprofile: %v", err)
+		}
+	}()
 	if *quick {
 		warmSet, stepsSet := false, false
 		flag.Visit(func(f *flag.Flag) {
@@ -171,6 +209,16 @@ func main() {
 
 	rec.precisionSpeedups()
 
+	// Ensemble throughput: whole-simulation replica jobs scheduled by the
+	// run-orchestration subsystem, at outer pool sizes 1 and NumCPU. This
+	// is the outer level of parallelism — it scales with cores even where
+	// the inner worker sharding is bandwidth-bound (each job runs with
+	// Workers=1 under orchestration).
+	rec.addEnsemble("ensemble-throughput/pool-1", 1, *warm, *steps)
+	if n := runtime.NumCPU(); n > 1 {
+		rec.addEnsemble(fmt.Sprintf("ensemble-throughput/pool-%d", n), n, *warm, *steps)
+	}
+
 	if *baseline != "" {
 		if err := rec.compare(*baseline); err != nil {
 			log.Fatalf("bench: baseline %s: %v", *baseline, err)
@@ -235,6 +283,42 @@ func (rec *Record) append(name string, prec dsmc.Precision, workers, particles i
 	rec.Cases = append(rec.Cases, c)
 	fmt.Printf("%-34s %9d particles  %10.0f ns/step  %.4f us/particle/step\n",
 		name, c.Particles, c.NsPerStep, c.UsPerParticleStep)
+}
+
+// addEnsemble measures the run-orchestration subsystem's job throughput:
+// six replica jobs of the rarefied wedge (each warm+steps long) through
+// dsmc.RunSweep at the given pool size, recorded as jobs/minute. The
+// Workers column records the pool size for these cases.
+func (rec *Record) addEnsemble(name string, pool, warm, steps int) {
+	const replicas = 6
+	cfg := dsmc.PaperConfig()
+	cfg.MeanFreePath = 0.5
+	cfg.ParticlesPerCell = 8
+	cfg.Seed = 1988
+	t0 := time.Now()
+	res, err := dsmc.RunSweep(context.Background(), dsmc.SweepSpec{
+		Name:        "bench-ensemble",
+		Base:        cfg,
+		Replicas:    replicas,
+		WarmSteps:   warm,
+		SampleSteps: steps,
+		Pool:        pool,
+	}, nil)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	dt := time.Since(t0)
+	c := Case{
+		Name:          name,
+		Precision:     string(dsmc.Float64),
+		Workers:       pool,
+		Particles:     int(res.Points[0].NFlow.Mean),
+		Jobs:          replicas,
+		JobsPerMinute: float64(replicas) / dt.Minutes(),
+	}
+	rec.Cases = append(rec.Cases, c)
+	fmt.Printf("%-34s %9d particles  %6d jobs in %8s  %.2f jobs/min\n",
+		name, c.Particles, replicas, dt.Round(time.Millisecond), c.JobsPerMinute)
 }
 
 // precisionSpeedups fills SpeedupVsFloat64 on every /f32 case whose

@@ -1,0 +1,51 @@
+// Command dsmcd is the DSMC job server: it accepts ensemble/parameter-
+// sweep specs over HTTP, schedules them as job DAGs over a bounded pool
+// of whole simulations (dsmc.RunSweep), streams per-job progress, and
+// serves the aggregated cross-replica statistics. Every job checkpoints
+// its full state (internal/ckpt), so a killed server resumes unfinished
+// sweeps on restart — bit-identically to never having died.
+//
+// API (JSON unless noted):
+//
+//	POST /v1/sweeps               submit a dsmc.SweepSpec; 202 + {id, links}
+//	GET  /v1/sweeps               list sweeps with state
+//	GET  /v1/sweeps/{id}          status: per-job states and step progress
+//	GET  /v1/sweeps/{id}/events   NDJSON progress stream (history + live)
+//	GET  /v1/sweeps/{id}/result   aggregated result (409 while running)
+//	GET  /healthz                 liveness
+//
+// Example session:
+//
+//	dsmcd -addr :8077 -data /var/lib/dsmcd &
+//	curl -s localhost:8077/v1/sweeps -d '{
+//	  "base": {"GridNX":98,"GridNY":64,"Wedge":{"LeadX":20,"Base":25,"AngleDeg":30},
+//	           "Mach":4,"ThermalSpeed":0.125,"MeanFreePath":0.5,
+//	           "ParticlesPerCell":8,"Seed":1988},
+//	  "points": [{"name":"rarefied"},{"name":"near-continuum","mean_free_path":0}],
+//	  "replicas": 4, "warm_steps": 600, "sample_steps": 300}'
+//	curl -s localhost:8077/v1/sweeps/sw-000000           # poll status
+//	curl -sN localhost:8077/v1/sweeps/sw-000000/events   # stream progress
+//	curl -s localhost:8077/v1/sweeps/sw-000000/result | jq '.points[].shock_angle_deg'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.LUTC)
+	log.SetPrefix("dsmcd: ")
+	addr := flag.String("addr", ":8077", "listen address")
+	data := flag.String("data", "dsmcd-data", "data directory (specs, checkpoints, results)")
+	pool := flag.Int("pool", 0, "max concurrent simulations per sweep (0 = NumCPU)")
+	flag.Parse()
+
+	s, err := newServer(*data, *pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s, data in %s", *addr, *data)
+	log.Fatal(http.ListenAndServe(*addr, s.handler()))
+}

@@ -1,0 +1,497 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dsmc"
+)
+
+// sweepState is the lifecycle of a submitted sweep.
+type sweepState string
+
+const (
+	stateRunning sweepState = "running"
+	stateDone    sweepState = "done"
+	stateFailed  sweepState = "failed"
+)
+
+// jobStatus is the latest view of one job of a sweep.
+type jobStatus struct {
+	Job        string `json:"job"`
+	State      string `json:"state"`
+	StepsDone  int    `json:"steps_done,omitempty"`
+	StepsTotal int    `json:"steps_total,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// sweepRun is the in-memory record of one sweep: its spec, live job
+// table, buffered event history with fan-out to NDJSON subscribers, and
+// the result once finished.
+type sweepRun struct {
+	ID        string     `json:"id"`
+	State     sweepState `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Resumed   bool       `json:"resumed,omitempty"`
+
+	spec dsmc.SweepSpec
+
+	mu     sync.Mutex
+	jobs   map[string]*jobStatus
+	events []dsmc.SweepEvent
+	subs   map[chan dsmc.SweepEvent]struct{}
+	done   chan struct{}
+	result *dsmc.SweepResult
+}
+
+// statusView is the JSON shape of GET /v1/sweeps/{id}.
+type statusView struct {
+	ID        string            `json:"id"`
+	State     sweepState        `json:"state"`
+	Error     string            `json:"error,omitempty"`
+	Submitted time.Time         `json:"submitted"`
+	Resumed   bool              `json:"resumed,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Replicas  int               `json:"replicas"`
+	Points    int               `json:"points"`
+	Jobs      []jobStatus       `json:"jobs"`
+	Links     map[string]string `json:"links"`
+}
+
+// server owns the sweep registry and its on-disk layout:
+//
+//	<data>/<id>/spec.json    the submitted spec (resume source)
+//	<data>/<id>/ckpt/        per-job checkpoints (internal/ckpt format)
+//	<data>/<id>/result.json  the aggregated result, written on completion
+//
+// On startup every spec without a result is relaunched; the job
+// checkpoints make the relaunch continue where the killed process
+// stopped, bit-identically.
+type server struct {
+	dataDir string
+	pool    int
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepRun
+	nextID int
+}
+
+func newServer(dataDir string, pool int) (*server, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &server{dataDir: dataDir, pool: pool, sweeps: map[string]*sweepRun{}}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the data directory: finished sweeps are registered as
+// done (their result served from disk), unfinished ones are relaunched
+// from their spec + checkpoints.
+func (s *server) recover() error {
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "sw-") {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if n := idNumber(id); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		raw, err := os.ReadFile(filepath.Join(s.dataDir, id, "spec.json"))
+		if err != nil {
+			log.Printf("recover %s: %v (skipping)", id, err)
+			continue
+		}
+		var spec dsmc.SweepSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			log.Printf("recover %s: bad spec: %v (skipping)", id, err)
+			continue
+		}
+		run := s.register(id, spec, true)
+		if resRaw, err := os.ReadFile(filepath.Join(s.dataDir, id, "result.json")); err == nil {
+			var res dsmc.SweepResult
+			if err := json.Unmarshal(resRaw, &res); err == nil {
+				run.finish(&res, nil)
+				continue
+			}
+		}
+		log.Printf("recover %s: resuming from checkpoints", id)
+		go s.execute(run)
+	}
+	return nil
+}
+
+func idNumber(id string) int {
+	var n int
+	fmt.Sscanf(id, "sw-%d", &n)
+	return n
+}
+
+// register creates the in-memory record (state running).
+func (s *server) register(id string, spec dsmc.SweepSpec, resumed bool) *sweepRun {
+	run := &sweepRun{
+		ID:        id,
+		State:     stateRunning,
+		Submitted: time.Now().UTC(),
+		Resumed:   resumed,
+		spec:      spec,
+		jobs:      map[string]*jobStatus{},
+		subs:      map[chan dsmc.SweepEvent]struct{}{},
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.sweeps[id] = run
+	s.mu.Unlock()
+	return run
+}
+
+// execute runs the sweep to completion, persisting the result.
+func (s *server) execute(run *sweepRun) {
+	res, err := dsmc.RunSweep(context.Background(), run.spec, run.observe)
+	if err == nil {
+		var buf []byte
+		if buf, err = json.MarshalIndent(res, "", " "); err == nil {
+			err = atomicWrite(filepath.Join(s.dataDir, run.ID, "result.json"), append(buf, '\n'))
+		}
+	}
+	run.finish(res, err)
+	if err != nil {
+		log.Printf("%s failed: %v", run.ID, err)
+	} else {
+		log.Printf("%s done", run.ID)
+	}
+}
+
+// observe records an event into the history, updates the job table and
+// fans out to subscribers (dropping on full buffers so a stalled client
+// cannot block the sweep).
+func (r *sweepRun) observe(e dsmc.SweepEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+	js := r.jobs[e.Job]
+	if js == nil {
+		js = &jobStatus{Job: e.Job}
+		r.jobs[e.Job] = js
+	}
+	switch e.Type {
+	case "job-started":
+		js.State = "running"
+	case "job-progress":
+		js.State = "running"
+		js.StepsDone, js.StepsTotal = e.StepsDone, e.StepsTotal
+	case "job-done", "aggregate-done":
+		js.State = "done"
+	case "job-failed":
+		js.State = "failed"
+		js.Err = e.Err
+	case "job-skipped":
+		js.State = "skipped"
+	}
+	for ch := range r.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// finish closes the run and wakes event subscribers.
+func (r *sweepRun) finish(res *dsmc.SweepResult, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.State = stateFailed
+		r.Error = err.Error()
+	} else {
+		r.State = stateDone
+		r.result = res
+	}
+	close(r.done)
+}
+
+// subscribe registers an event channel and returns the history snapshot
+// taken atomically with the registration, so the caller replays history
+// and then streams live without gaps or duplicates.
+func (r *sweepRun) subscribe(buf int) (history []dsmc.SweepEvent, ch chan dsmc.SweepEvent, cancel func()) {
+	ch = make(chan dsmc.SweepEvent, buf)
+	r.mu.Lock()
+	history = append([]dsmc.SweepEvent(nil), r.events...)
+	r.subs[ch] = struct{}{}
+	r.mu.Unlock()
+	return history, ch, func() {
+		r.mu.Lock()
+		delete(r.subs, ch)
+		r.mu.Unlock()
+	}
+}
+
+func (r *sweepRun) status() statusView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := statusView{
+		ID: r.ID, State: r.State, Error: r.Error,
+		Submitted: r.Submitted, Resumed: r.Resumed,
+		Name: r.spec.Name, Replicas: r.spec.Replicas,
+		Points: len(r.spec.Points),
+		Links: map[string]string{
+			"events": "/v1/sweeps/" + r.ID + "/events",
+			"result": "/v1/sweeps/" + r.ID + "/result",
+		},
+	}
+	if v.Points == 0 {
+		v.Points = 1 // an empty point list runs the base as one ensemble
+	}
+	for _, js := range r.jobs {
+		v.Jobs = append(v.Jobs, *js)
+	}
+	sort.Slice(v.Jobs, func(i, j int) bool { return v.Jobs[i].Job < v.Jobs[j].Job })
+	return v
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	return mux
+}
+
+// handleSubmit accepts a SweepSpec as JSON, validates it, persists it
+// and launches it. The server owns the checkpoint directory; a
+// client-supplied one is rejected rather than silently rewritten.
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec dsmc.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	if spec.CheckpointDir != "" {
+		writeErr(w, http.StatusBadRequest, errors.New("checkpoint_dir is server-managed; leave it empty"))
+		return
+	}
+	if err := spec.Base.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	id := fmt.Sprintf("sw-%06d", s.nextID)
+	s.nextID++
+	s.mu.Unlock()
+
+	if spec.Pool == 0 {
+		spec.Pool = s.pool
+	}
+	dir := filepath.Join(s.dataDir, id)
+	spec.CheckpointDir = filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(spec.CheckpointDir, 0o755); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Validate the full orchestration spec by a dry lowering before
+	// accepting: a bad spec must 400 now, not fail asynchronously.
+	if _, err := dsmc.RunSweep(dryCtx, spec, nil); err != nil && !errors.Is(err, context.Canceled) {
+		os.RemoveAll(dir)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	buf, err := json.MarshalIndent(spec, "", " ")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := atomicWrite(filepath.Join(dir, "spec.json"), append(buf, '\n')); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	run := s.register(id, spec, false)
+	go s.execute(run)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     id,
+		"status": "/v1/sweeps/" + id,
+		"events": "/v1/sweeps/" + id + "/events",
+		"result": "/v1/sweeps/" + id + "/result",
+	})
+}
+
+// dryCtx is pre-cancelled: RunSweep with it validates and lowers the
+// spec, then stops before any simulation step runs.
+var dryCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sweeps))
+	for id := range s.sweeps {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]statusView, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		run := s.sweeps[id]
+		s.mu.Unlock()
+		v := run.status()
+		v.Jobs = nil // keep the listing light; per-sweep status has the table
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+func (s *server) lookup(w http.ResponseWriter, req *http.Request) *sweepRun {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	run := s.sweeps[id]
+	s.mu.Unlock()
+	if run == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+	}
+	return run
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if run := s.lookup(w, req); run != nil {
+		writeJSON(w, http.StatusOK, run.status())
+	}
+}
+
+// handleEvents streams the sweep's progress as NDJSON: the buffered
+// history first, then live events until the sweep finishes or the
+// client goes away.
+func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	run := s.lookup(w, req)
+	if run == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	history, ch, cancel := run.subscribe(1024)
+	defer cancel()
+	for _, e := range history {
+		if enc.Encode(e) != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case e := <-ch:
+			if enc.Encode(e) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-run.done:
+			// Drain anything that raced the close, then end the stream.
+			for {
+				select {
+				case e := <-ch:
+					if enc.Encode(e) != nil {
+						return
+					}
+				default:
+					if flusher != nil {
+						flusher.Flush()
+					}
+					return
+				}
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *server) handleResult(w http.ResponseWriter, req *http.Request) {
+	run := s.lookup(w, req)
+	if run == nil {
+		return
+	}
+	run.mu.Lock()
+	state, res, errMsg := run.State, run.result, run.Error
+	run.mu.Unlock()
+	switch state {
+	case stateRunning:
+		writeErr(w, http.StatusConflict, errors.New("sweep still running; poll status or stream events"))
+	case stateFailed:
+		writeErr(w, http.StatusInternalServerError, errors.New(errMsg))
+	default:
+		// Done sweeps always carry their result: finish(res, nil) is the
+		// only path to stateDone, including recovery (which unmarshals
+		// result.json before marking the run done).
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// atomicWrite writes data to a temp file, fsyncs it, and renames it into
+// place, so a host crash cannot leave a torn spec or result file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dsmc"
+)
+
+func tinySpec() dsmc.SweepSpec {
+	cfg := dsmc.PaperConfig()
+	cfg.GridNX, cfg.GridNY = 48, 24
+	cfg.Wedge = &dsmc.WedgeSpec{LeadX: 10, Base: 12, AngleDeg: 30}
+	cfg.ParticlesPerCell = 3
+	cfg.Seed = 7
+	return dsmc.SweepSpec{
+		Name: "smoke",
+		Base: cfg,
+		Points: []dsmc.SweepPoint{
+			{Name: "rarefied"},
+		},
+		Replicas:    2,
+		WarmSteps:   4,
+		SampleSteps: 4,
+	}
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec dsmc.SweepSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, e)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] == "" {
+		t.Fatal("submit returned no id")
+	}
+	return out["id"]
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statusView
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == stateDone || st.State == stateFailed {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("sweep did not finish in time")
+	return statusView{}
+}
+
+// TestServerLifecycle: submit → status → events → result, end to end.
+func TestServerLifecycle(t *testing.T) {
+	s, err := newServer(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	id := submit(t, ts, tinySpec())
+	st := waitDone(t, ts, id)
+	if st.State != stateDone {
+		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
+	}
+	if len(st.Jobs) != 3 { // 2 replicas + 1 aggregate
+		t.Errorf("status lists %d jobs, want 3", len(st.Jobs))
+	}
+
+	// Events: finished sweep streams its full history and closes.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var lines, progress int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e dsmc.SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+		if e.Type == "job-progress" {
+			progress++
+		}
+	}
+	if lines == 0 || progress == 0 {
+		t.Errorf("event stream had %d lines, %d progress events", lines, progress)
+	}
+
+	// Result: aggregated stats for the one point.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res dsmc.SweepResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Replicas != 2 {
+		t.Fatalf("result %+v, want 1 point of 2 replicas", res)
+	}
+	if res.Points[0].NFlow.Mean <= 0 {
+		t.Error("aggregated flow count not positive")
+	}
+}
+
+// TestServerValidation: malformed and invalid submissions 400 with a
+// diagnostic; unknown sweeps 404; premature result fetch 409.
+func TestServerValidation(t *testing.T) {
+	s, err := newServer(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", code)
+	}
+	if code := post(`{"unknown_field": 1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+	bad := tinySpec()
+	bad.Base.Precision = "float16"
+	raw, _ := json.Marshal(bad)
+	if code := post(string(raw)); code != http.StatusBadRequest {
+		t.Errorf("invalid precision: status %d", code)
+	}
+	noReplicas := tinySpec()
+	noReplicas.Replicas = 0
+	raw, _ = json.Marshal(noReplicas)
+	if code := post(string(raw)); code != http.StatusBadRequest {
+		t.Errorf("zero replicas: status %d", code)
+	}
+	withDir := tinySpec()
+	withDir.CheckpointDir = "/tmp/evil"
+	raw, _ = json.Marshal(withDir)
+	if code := post(string(raw)); code != http.StatusBadRequest {
+		t.Errorf("client checkpoint dir: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sw-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerRecovery: a new server over an existing data directory
+// serves finished sweeps and their results without re-running them.
+func TestServerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := newServer(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.handler())
+	id := submit(t, ts1, tinySpec())
+	st := waitDone(t, ts1, id)
+	ts1.Close()
+	if st.State != stateDone {
+		t.Fatalf("first run state %s", st.State)
+	}
+
+	s2, err := newServer(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.handler())
+	defer ts2.Close()
+	st2 := waitDone(t, ts2, id)
+	if st2.State != stateDone || !st2.Resumed {
+		t.Fatalf("recovered sweep state %s resumed=%v", st2.State, st2.Resumed)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/sweeps/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res dsmc.SweepResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("recovered result has %d points", len(res.Points))
+	}
+}

@@ -14,12 +14,26 @@
 //	compare  CM backend vs sequential reference per-particle time
 //	scaling  reference-backend worker sweep (1/2/4/N cores)
 //
-// Run all with defaults (a few minutes):
+// Beyond the paper's evaluation, two orchestration experiments exercise
+// the run subsystem (not part of "all"; run them explicitly):
+//
+//	sweep         ensemble sweep over the rarefaction parameter: -replicas
+//	              independent replicas per point, scheduled as a job DAG
+//	              over -jobpool concurrent simulations, aggregated into
+//	              mean ± CI (writes sweep.json)
+//	sweep-resume  self-verifying checkpoint/restore: runs the sweep,
+//	              kills it mid-flight, resumes from the checkpoints, and
+//	              fails unless the aggregates are bit-identical to the
+//	              uninterrupted run
+//
+// Run all paper experiments with defaults (a few minutes):
 //
 //	experiments -out results
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,20 +52,23 @@ import (
 )
 
 type harness struct {
-	perCell float64
-	steps   int
-	avg     int
-	procs   int
-	workers int
-	seed    uint64
-	outDir  string
+	perCell  float64
+	steps    int
+	avg      int
+	procs    int
+	workers  int
+	seed     uint64
+	outDir   string
+	replicas int
+	jobpool  int
+	ckptDir  string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var h harness
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare|scaling")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare|scaling|sweep|sweep-resume")
 	flag.Float64Var(&h.perCell, "percell", 8, "particles per cell (75 = paper scale)")
 	flag.IntVar(&h.steps, "steps", 600, "steps to steady state (paper: 1200)")
 	flag.IntVar(&h.avg, "avg", 300, "averaging steps (paper: 2000)")
@@ -59,18 +76,23 @@ func main() {
 	flag.IntVar(&h.workers, "workers", 0, "reference-backend CPU workers (0 = NumCPU)")
 	flag.Uint64Var(&h.seed, "seed", 1988, "random seed")
 	flag.StringVar(&h.outDir, "out", "results", "output directory")
+	flag.IntVar(&h.replicas, "replicas", 4, "replicas per sweep point (sweep experiments)")
+	flag.IntVar(&h.jobpool, "jobpool", 0, "concurrent simulations of the sweep scheduler (0 = NumCPU)")
+	flag.StringVar(&h.ckptDir, "ckpt", "", "sweep checkpoint directory: -exp sweep resumes over it when set (empty = no checkpoints); -exp sweep-resume defaults it to <out>/ckpt")
 	flag.Parse()
 
 	if err := os.MkdirAll(h.outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
 	run := map[string]func() error{
-		"fig1":    func() error { return h.contourFigs(0) },
-		"fig4":    func() error { return h.contourFigs(0.5) },
-		"fig7":    h.fig7,
-		"phases":  h.phases,
-		"compare": h.compare,
-		"scaling": h.scaling,
+		"fig1":         func() error { return h.contourFigs(0) },
+		"fig4":         func() error { return h.contourFigs(0.5) },
+		"fig7":         h.fig7,
+		"phases":       h.phases,
+		"compare":      h.compare,
+		"scaling":      h.scaling,
+		"sweep":        func() error { _, err := h.sweep(h.ckptDir); return err },
+		"sweep-resume": h.sweepResume,
 	}
 	// figs 2/3 and 5/6 are produced by the same runs as 1 and 4.
 	run["fig2"], run["fig3"] = run["fig1"], run["fig1"]
@@ -340,4 +362,160 @@ func (h *harness) scaling() error {
 	}
 	defer out.Close()
 	return report.Series(out, "Reference backend scaling", "workers", "us/particle/step", xs, ys)
+}
+
+// sweepSpec builds the rarefaction sweep: the paper's two flow regimes
+// as sweep points, -replicas independent replicas each.
+func (h *harness) sweepSpec(ckptDir string) dsmc.SweepSpec {
+	base := dsmc.PaperConfig()
+	base.ParticlesPerCell = h.perCell
+	base.Seed = h.seed
+	lam0, lam05 := 0.0, 0.5
+	return dsmc.SweepSpec{
+		Name: "rarefaction-sweep",
+		Base: base,
+		Points: []dsmc.SweepPoint{
+			{Name: "near-continuum", MeanFreePath: &lam0},
+			{Name: "rarefied", MeanFreePath: &lam05},
+		},
+		Replicas:      h.replicas,
+		WarmSteps:     h.steps,
+		SampleSteps:   h.avg,
+		Pool:          h.jobpool,
+		CheckpointDir: ckptDir,
+	}
+}
+
+// sweep runs the rarefaction ensemble sweep and reports per-point
+// cross-replica statistics; checkpoints land in ckptDir when set.
+func (h *harness) sweep(ckptDir string) (*dsmc.SweepResult, error) {
+	spec := h.sweepSpec(ckptDir)
+	fmt.Printf("sweep: %d points x %d replicas, %d+%d steps each, pool %d\n",
+		len(spec.Points), spec.Replicas, spec.WarmSteps, spec.SampleSteps, h.jobpool)
+	var jobsDone int
+	res, err := dsmc.RunSweep(context.Background(), spec, func(e dsmc.SweepEvent) {
+		// Count replica jobs only; the per-point aggregate fan-in nodes
+		// also emit job-done but are not simulations.
+		if e.Type == "job-done" && !strings.HasSuffix(e.Job, "/aggregate") {
+			jobsDone++
+			fmt.Printf("  %-32s done (%d of %d jobs finished)\n",
+				e.Job, jobsDone, len(spec.Points)*spec.Replicas)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Rarefaction sweep, cross-replica aggregates",
+		"point", "shock angle (deg)", "ci95", "replicas used", "freestream mean")
+	for i := range res.Points {
+		p := &res.Points[i]
+		t.AddRow(p.Name,
+			p.ShockAngleDeg.Mean, p.ShockAngleDeg.CI95, p.ShockAngleDeg.N,
+			p.Field().FreestreamMean())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(h.outDir, "sweep.json"), append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sweepResume is the self-verifying kill/resume check: the sweep is run
+// uninterrupted, then run again with checkpoints enabled but cancelled
+// as soon as every job has committed at least one checkpoint, then
+// resumed from those checkpoints. The resumed aggregates must match the
+// uninterrupted run bit for bit.
+func (h *harness) sweepResume() error {
+	straight, err := h.sweep("")
+	if err != nil {
+		return err
+	}
+
+	ckptDir := h.ckptDir
+	if ckptDir == "" {
+		ckptDir = filepath.Join(h.outDir, "ckpt")
+	}
+	if err := os.RemoveAll(ckptDir); err != nil {
+		return err
+	}
+	spec := h.sweepSpec(ckptDir)
+	// Checkpoint at half a job's steps so cancellation always lands
+	// mid-flight with state on disk.
+	spec.CheckpointEvery = (spec.WarmSteps + spec.SampleSteps) / 2
+	if spec.CheckpointEvery < 1 {
+		spec.CheckpointEvery = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	checkpointed := make(map[string]bool)
+	totalJobs := len(spec.Points) * spec.Replicas
+	_, err = dsmc.RunSweep(ctx, spec, func(e dsmc.SweepEvent) {
+		if e.Type == "job-progress" && e.StepsDone >= spec.CheckpointEvery {
+			checkpointed[e.Job] = true
+			if len(checkpointed) == totalJobs {
+				cancel()
+			}
+		}
+	})
+	cancel()
+	if err == nil {
+		// The whole sweep finished before every job checkpointed (tiny
+		// configurations); the resume below then just re-verifies the
+		// completed checkpoints, which is still a valid check.
+		fmt.Println("sweep-resume: sweep finished before cancellation; resuming over final checkpoints")
+	} else {
+		fmt.Printf("sweep-resume: killed mid-flight (%v); resuming from %s\n", err, ckptDir)
+	}
+
+	resumed, err := h.sweep(ckptDir)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if err := compareSweeps(straight, resumed); err != nil {
+		return fmt.Errorf("sweep-resume FAILED: %w", err)
+	}
+	fmt.Println("sweep-resume: PASS — resumed aggregates are bit-identical to the uninterrupted run")
+	return nil
+}
+
+// compareSweeps demands bit-identical aggregates (NaN-safe): every
+// scalar statistic including its sample counts, and the full per-cell
+// density stats.
+func compareSweeps(a, b *dsmc.SweepResult) error {
+	if len(a.Points) != len(b.Points) {
+		return fmt.Errorf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	bits := math.Float64bits
+	scalarsDiffer := func(x, y dsmc.ScalarStats) bool {
+		return bits(x.Mean) != bits(y.Mean) || bits(x.Variance) != bits(y.Variance) ||
+			bits(x.CI95) != bits(y.CI95) || x.N != y.N || x.Dropped != y.Dropped
+	}
+	for i := range a.Points {
+		pa, pb := &a.Points[i], &b.Points[i]
+		if pa.Name != pb.Name || pa.Replicas != pb.Replicas {
+			return fmt.Errorf("point %d metadata differs", i)
+		}
+		if scalarsDiffer(pa.ShockAngleDeg, pb.ShockAngleDeg) {
+			return fmt.Errorf("point %q shock-angle stats differ", pa.Name)
+		}
+		if scalarsDiffer(pa.Collisions, pb.Collisions) {
+			return fmt.Errorf("point %q collision stats differ", pa.Name)
+		}
+		if scalarsDiffer(pa.NFlow, pb.NFlow) {
+			return fmt.Errorf("point %q flow-count stats differ", pa.Name)
+		}
+		for c := range pa.Density.Mean {
+			if bits(pa.Density.Mean[c]) != bits(pb.Density.Mean[c]) ||
+				bits(pa.Density.Variance[c]) != bits(pb.Density.Variance[c]) ||
+				bits(pa.Density.CI95[c]) != bits(pb.Density.CI95[c]) {
+				return fmt.Errorf("point %q density stats differ at cell %d", pa.Name, c)
+			}
+		}
+	}
+	return nil
 }

@@ -26,6 +26,7 @@ package dsmc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -122,8 +123,8 @@ type Config struct {
 	// backend (default 1024; the paper's machine had 32k).
 	PhysProcs int
 	// Precision selects the Reference backend's storage precision
-	// (default Float64). The ConnectionMachine backend is fixed-point and
-	// ignores it.
+	// (default Float64). The ConnectionMachine backend is fixed-point;
+	// combining it with Float32 is a configuration error.
 	Precision Precision
 	// Workers is the CPU worker count the Reference backend shards its
 	// phases over (move/boundary over particle chunks, sort, select,
@@ -155,18 +156,58 @@ func PaperConfig() Config {
 	}
 }
 
+// Validate reports configuration errors before any lowering: unknown
+// enum values (Precision, Backend, Model) and out-of-range knobs fail
+// here with a descriptive error instead of silently defaulting. The
+// physics-level checks (supersonic freestream, wedge fit, time-step
+// bound) run in the internal configuration's Validate; NewSimulation
+// applies both.
+func (c Config) Validate() error {
+	if c.GridNX <= 0 || c.GridNY <= 0 {
+		return errors.New("dsmc: grid dimensions must be positive")
+	}
+	switch c.Backend {
+	case Reference, ConnectionMachine:
+	default:
+		return fmt.Errorf("dsmc: unknown backend %d", c.Backend)
+	}
+	switch c.Precision {
+	case "", Float64, Float32:
+	default:
+		return fmt.Errorf("dsmc: unknown precision %q (want %q or %q)", c.Precision, Float64, Float32)
+	}
+	switch c.Model {
+	case "", Maxwell, HardSphere:
+	default:
+		return fmt.Errorf("dsmc: unknown molecular model %q (want %q or %q)", c.Model, Maxwell, HardSphere)
+	}
+	if c.Backend == ConnectionMachine && c.Precision == Float32 {
+		return errors.New("dsmc: the ConnectionMachine backend is fixed-point; Precision must be unset or float64")
+	}
+	if c.MeanFreePath < 0 {
+		return errors.New("dsmc: MeanFreePath must not be negative (0 selects the near-continuum collide-all mode)")
+	}
+	if c.ParticlesPerCell <= 0 {
+		return errors.New("dsmc: ParticlesPerCell must be positive")
+	}
+	if c.Workers < 0 {
+		return errors.New("dsmc: Workers must not be negative (0 selects runtime.NumCPU())")
+	}
+	if c.PhysProcs < 0 {
+		return errors.New("dsmc: PhysProcs must not be negative")
+	}
+	return nil
+}
+
 // internalConfig lowers the public configuration.
 func (c Config) internalConfig() (sim.Config, error) {
-	if c.GridNX <= 0 || c.GridNY <= 0 {
-		return sim.Config{}, errors.New("dsmc: grid dimensions must be positive")
+	if err := c.Validate(); err != nil {
+		return sim.Config{}, err
 	}
 	model := molec.Maxwell()
 	switch c.Model {
-	case "", Maxwell:
 	case HardSphere:
 		model = molec.HardSphere()
-	default:
-		return sim.Config{}, fmt.Errorf("dsmc: unknown molecular model %q", c.Model)
 	}
 	var wedge *geom.Wedge
 	if c.Wedge != nil {
@@ -207,12 +248,15 @@ type backend interface {
 }
 
 // refBackend is the extra surface of the engine-based Reference
-// backends beyond backend: cell-sharded sampling and the phase timing
-// breakdown. Both precision instantiations of sim.SimOf implement it.
+// backends beyond backend: cell-sharded sampling, the phase timing
+// breakdown, and binary checkpoint/restore. Both precision
+// instantiations of sim.SimOf implement it.
 type refBackend interface {
 	backend
 	SampleInto(acc *sample.Accumulator)
 	PhaseTimes() map[string]time.Duration
+	WriteCheckpoint(w io.Writer) error
+	ReadCheckpoint(r io.Reader) error
 }
 
 // Simulation is a running wind-tunnel simulation.

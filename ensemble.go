@@ -1,0 +1,269 @@
+package dsmc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmc/internal/geom"
+	"dsmc/internal/grid"
+	"dsmc/internal/run"
+)
+
+// SweepPoint is one point of a parameter sweep: a name plus optional
+// overrides applied to the sweep's base configuration. Nil fields keep
+// the base value, so a point only states what it varies.
+type SweepPoint struct {
+	Name             string   `json:"name"`
+	Mach             *float64 `json:"mach,omitempty"`
+	MeanFreePath     *float64 `json:"mean_free_path,omitempty"`
+	ParticlesPerCell *float64 `json:"particles_per_cell,omitempty"`
+	ThermalSpeed     *float64 `json:"thermal_speed,omitempty"`
+	// WedgeAngleDeg overrides the wedge ramp angle; the base
+	// configuration must have a wedge.
+	WedgeAngleDeg *float64 `json:"wedge_angle_deg,omitempty"`
+}
+
+// SweepSpec describes an ensemble or parameter sweep: a base
+// configuration, the points that perturb it (none means a single-point
+// ensemble of the base), and the replication and execution knobs.
+type SweepSpec struct {
+	// Name labels the sweep in events and results.
+	Name string `json:"name,omitempty"`
+	// Base is the configuration every point starts from. Its Seed is the
+	// sweep's base seed: every job derives an independent seed from it,
+	// so a sweep is reproducible from the spec alone. Its Workers is the
+	// per-simulation worker count (default 1 under orchestration, so the
+	// job pool and the inner sharding multiply rather than oversubscribe).
+	Base Config `json:"base"`
+	// Points are the sweep points; empty runs the base alone.
+	Points []SweepPoint `json:"points,omitempty"`
+	// Replicas is the number of independent replicas per point (>= 1).
+	Replicas int `json:"replicas"`
+	// WarmSteps run before sampling; SampleSteps are averaged.
+	WarmSteps   int `json:"warm_steps"`
+	SampleSteps int `json:"sample_steps"`
+	// Pool bounds the number of concurrently running simulations;
+	// 0 selects runtime.NumCPU().
+	Pool int `json:"pool,omitempty"`
+	// CheckpointDir, when set, makes jobs resumable: each persists its
+	// full state there every CheckpointEvery steps (default 50), and a
+	// re-run of the same spec over the same directory continues from the
+	// checkpoints — bit-identically to an uninterrupted run.
+	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+}
+
+// ScalarStats is a cross-replica mean/variance with its 95% confidence
+// half-width (normal approximation). Dropped counts replicas whose
+// measurement was undefined (e.g. no shock front found).
+type ScalarStats struct {
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	CI95     float64 `json:"ci95"`
+	N        int     `json:"n"`
+	Dropped  int     `json:"dropped,omitempty"`
+}
+
+// FieldStats carries per-cell cross-replica statistics of a sampled
+// field, row-major over the grid like Field.Data.
+type FieldStats struct {
+	NX       int       `json:"nx"`
+	NY       int       `json:"ny"`
+	Mean     []float64 `json:"mean"`
+	Variance []float64 `json:"variance"`
+	CI95     []float64 `json:"ci95"`
+}
+
+// PointResult is one sweep point's aggregate over its replicas.
+type PointResult struct {
+	Name          string      `json:"name"`
+	Replicas      int         `json:"replicas"`
+	Density       FieldStats  `json:"density"`
+	ShockAngleDeg ScalarStats `json:"shock_angle_deg"`
+	Collisions    ScalarStats `json:"collisions"`
+	NFlow         ScalarStats `json:"nflow"`
+
+	cfg Config // the point's resolved configuration, for Field()
+}
+
+// Field returns the mean density as a Field, with the full analysis
+// surface (shock angle fit, wake metrics, renderers) available on the
+// cross-replica mean.
+func (p *PointResult) Field() *Field {
+	g := grid.New(p.cfg.GridNX, p.cfg.GridNY)
+	var gw *geom.Wedge
+	if p.cfg.Wedge != nil {
+		gw = &geom.Wedge{
+			LeadX: p.cfg.Wedge.LeadX,
+			Base:  p.cfg.Wedge.Base,
+			Angle: p.cfg.Wedge.AngleDeg * math.Pi / 180,
+		}
+	}
+	return &Field{
+		NX: p.cfg.GridNX, NY: p.cfg.GridNY,
+		Data:  append([]float64(nil), p.Density.Mean...),
+		grid:  g,
+		vols:  g.Volumes(gw),
+		wedge: p.cfg.Wedge,
+		mach:  p.cfg.Mach,
+	}
+}
+
+// SweepResult is a completed sweep: one aggregate per point, in point
+// order.
+type SweepResult struct {
+	Name   string        `json:"name,omitempty"`
+	Points []PointResult `json:"points"`
+}
+
+// SweepEvent is one observation of sweep progress, delivered serially
+// to the RunSweep observer.
+type SweepEvent struct {
+	Type       string `json:"type"`
+	Job        string `json:"job"`
+	Scenario   string `json:"scenario,omitempty"`
+	Replica    int    `json:"replica,omitempty"`
+	StepsDone  int    `json:"steps_done,omitempty"`
+	StepsTotal int    `json:"steps_total,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// resolvePoint applies a point's overrides to the base configuration.
+func resolvePoint(base Config, p SweepPoint) (Config, error) {
+	cfg := base
+	if p.Mach != nil {
+		cfg.Mach = *p.Mach
+	}
+	if p.MeanFreePath != nil {
+		cfg.MeanFreePath = *p.MeanFreePath
+	}
+	if p.ParticlesPerCell != nil {
+		cfg.ParticlesPerCell = *p.ParticlesPerCell
+	}
+	if p.ThermalSpeed != nil {
+		cfg.ThermalSpeed = *p.ThermalSpeed
+	}
+	if p.WedgeAngleDeg != nil {
+		if base.Wedge == nil {
+			return cfg, fmt.Errorf("dsmc: point %q overrides the wedge angle but the base has no wedge", p.Name)
+		}
+		w := *base.Wedge
+		w.AngleDeg = *p.WedgeAngleDeg
+		cfg.Wedge = &w
+	}
+	return cfg, nil
+}
+
+// lowerSpec translates the public spec to the orchestration layer's.
+func lowerSpec(spec SweepSpec) (run.Spec, []Config, error) {
+	if spec.Base.Backend != Reference {
+		return run.Spec{}, nil, errors.New("dsmc: sweeps orchestrate the Reference backend only")
+	}
+	points := spec.Points
+	if len(points) == 0 {
+		name := spec.Name
+		if name == "" {
+			name = "ensemble"
+		}
+		points = []SweepPoint{{Name: name}}
+	}
+	base := spec.Base
+	if base.Workers == 0 {
+		// Under orchestration the outer pool supplies the parallelism;
+		// defaulting every job to all cores would oversubscribe.
+		base.Workers = 1
+	}
+	sp := run.Spec{
+		Name:            spec.Name,
+		Replicas:        spec.Replicas,
+		WarmSteps:       spec.WarmSteps,
+		SampleSteps:     spec.SampleSteps,
+		BaseSeed:        spec.Base.Seed,
+		Pool:            spec.Pool,
+		CheckpointDir:   spec.CheckpointDir,
+		CheckpointEvery: spec.CheckpointEvery,
+	}
+	cfgs := make([]Config, len(points))
+	for i, p := range points {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("point-%03d", i)
+		}
+		cfg, err := resolvePoint(base, p)
+		if err != nil {
+			return run.Spec{}, nil, err
+		}
+		ic, err := cfg.internalConfig()
+		if err != nil {
+			return run.Spec{}, nil, fmt.Errorf("dsmc: point %q: %w", name, err)
+		}
+		cfgs[i] = cfg
+		sp.Scenarios = append(sp.Scenarios, run.Scenario{
+			Name:    name,
+			Sim:     ic,
+			Float32: cfg.Precision == Float32,
+		})
+	}
+	return sp, cfgs, nil
+}
+
+// RunSweep executes the sweep's job DAG — replicas fan out over a
+// bounded pool of concurrent simulations, per-point aggregations fan in
+// — and returns cross-replica mean/variance/CI statistics per point.
+// Aggregates are bit-identical for any pool size and any job completion
+// order; with a checkpoint directory, a killed and re-run sweep resumes
+// from the checkpoints and still produces identical bits. onEvent, when
+// non-nil, observes progress (serialized calls).
+func RunSweep(ctx context.Context, spec SweepSpec, onEvent func(SweepEvent)) (*SweepResult, error) {
+	sp, cfgs, err := lowerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var observer func(run.Event)
+	if onEvent != nil {
+		observer = func(e run.Event) {
+			onEvent(SweepEvent{
+				Type: string(e.Type), Job: e.Job, Scenario: e.Scenario, Replica: e.Replica,
+				StepsDone: e.StepsDone, StepsTotal: e.StepsTotal, Err: e.Err,
+			})
+		}
+	}
+	res, err := run.Run(ctx, sp, observer)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Name: spec.Name}
+	for i, agg := range res.Aggregates {
+		out.Points = append(out.Points, PointResult{
+			Name:     agg.Scenario,
+			Replicas: agg.Replicas,
+			Density: FieldStats{
+				NX: cfgs[i].GridNX, NY: cfgs[i].GridNY,
+				Mean: agg.Density.Mean, Variance: agg.Density.Variance, CI95: agg.Density.CI95,
+			},
+			ShockAngleDeg: ScalarStats(agg.ShockAngleDeg),
+			Collisions:    ScalarStats(agg.Collisions),
+			NFlow:         ScalarStats(agg.NFlow),
+			cfg:           cfgs[i],
+		})
+	}
+	return out, nil
+}
+
+// RunEnsemble runs replicas of one configuration and aggregates them —
+// the single-point sweep. The result's CI quantifies the statistical
+// scatter DSMC answers carry.
+func RunEnsemble(ctx context.Context, cfg Config, replicas, warmSteps, sampleSteps int) (*PointResult, error) {
+	res, err := RunSweep(ctx, SweepSpec{
+		Base:        cfg,
+		Replicas:    replicas,
+		WarmSteps:   warmSteps,
+		SampleSteps: sampleSteps,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &res.Points[0], nil
+}

@@ -89,10 +89,8 @@ func (f *Field) ShockAngleDeg() float64 {
 	if f.wedge == nil {
 		return math.NaN()
 	}
-	x0 := int(f.wedge.LeadX) + 6
-	x1 := int(f.wedge.LeadX + f.wedge.Base - 2)
-	post := f.theoreticalRatio()
-	return sample.ShockAngle(f.Data, f.grid, x0, x1, post) * 180 / math.Pi
+	return sample.WedgeShockAngle(f.Data, f.grid,
+		f.wedge.LeadX, f.wedge.Base, f.wedge.AngleDeg*math.Pi/180, f.mach) * 180 / math.Pi
 }
 
 // ShockThickness measures the 10–90% density-rise distance normal to the
@@ -217,11 +215,7 @@ func (f *Field) WakeBaseDensity() float64 {
 // theoreticalRatio returns the RH post-shock density ratio for the wedge,
 // used as the reference level for front detection.
 func (f *Field) theoreticalRatio() float64 {
-	beta, err := phys.ObliqueShockBeta(f.mach, f.wedge.AngleDeg*math.Pi/180, phys.GammaDiatomic)
-	if err != nil {
-		return 3
-	}
-	return phys.RHDensityRatio(phys.NormalMach(f.mach, beta), phys.GammaDiatomic)
+	return sample.WedgePostShockRatio(f.mach, f.wedge.AngleDeg*math.Pi/180)
 }
 
 // FreestreamMean averages the density upstream of the wedge (or the whole

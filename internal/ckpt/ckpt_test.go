@@ -1,0 +1,293 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsmc/internal/ckpt"
+	"dsmc/internal/geom"
+	"dsmc/internal/golden"
+	"dsmc/internal/grid"
+	"dsmc/internal/kernel"
+	"dsmc/internal/sample"
+	"dsmc/internal/sim"
+	"dsmc/internal/sim3"
+)
+
+func config2D() sim.Config {
+	cfg := sim.DefaultConfig(1)
+	cfg.NX, cfg.NY = 48, 24
+	cfg.Wedge = &geom.Wedge{LeadX: 10, Base: 12, Angle: 30 * 3.14159265358979323846 / 180}
+	cfg.NPerCell = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+func config3D() sim3.Config {
+	return sim3.Config{
+		NX: 40, NY: 4, NZ: 4,
+		Cm: 0.125, Lambda: 0.5, PistonSpeed: 0.131,
+		NPerCell: 6, Seed: 99,
+	}
+}
+
+// roundTrip2D runs the acceptance sequence at one precision: run(100)
+// must hash identically to run(50) + checkpoint + restore-into-fresh +
+// run(50), with the restoring simulation at a different worker count.
+func roundTrip2D[F kernel.Float](t *testing.T, saveWorkers, loadWorkers int) {
+	t.Helper()
+	cfg := config2D()
+	cfg.Workers = saveWorkers
+
+	straight, err := sim.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight.Run(100)
+	want := golden.HashSim2D(straight)
+
+	half, err := sim.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(50)
+	var buf bytes.Buffer
+	if err := half.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	midHash := golden.HashSim2D(half)
+
+	cfg.Workers = loadWorkers
+	restored, err := sim.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := golden.HashSim2D(restored); got != midHash {
+		t.Fatalf("restored state hash %#016x != checkpointed %#016x", got, midHash)
+	}
+	restored.Run(50)
+	if got := golden.HashSim2D(restored); got != want {
+		t.Fatalf("run(100) hash %#016x, run(50)+save+load+run(50) hash %#016x", want, got)
+	}
+}
+
+func roundTrip3D[F kernel.Float](t *testing.T, saveWorkers, loadWorkers int) {
+	t.Helper()
+	cfg := config3D()
+	cfg.Workers = saveWorkers
+
+	straight, err := sim3.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight.Run(100)
+	want := golden.HashSim3D(straight)
+
+	half, err := sim3.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(50)
+	var buf bytes.Buffer
+	if err := half.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	cfg.Workers = loadWorkers
+	restored, err := sim3.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	restored.Run(50)
+	if got := golden.HashSim3D(restored); got != want {
+		t.Fatalf("run(100) hash %#016x, run(50)+save+load+run(50) hash %#016x", want, got)
+	}
+}
+
+// TestRoundTrip2D is the acceptance matrix: both precisions, checkpoint
+// taken at 1 and 8 workers, restored at 8 and 1 (restore must not care).
+func TestRoundTrip2D(t *testing.T) {
+	t.Run("float64/w1-to-w8", func(t *testing.T) { roundTrip2D[float64](t, 1, 8) })
+	t.Run("float64/w8-to-w1", func(t *testing.T) { roundTrip2D[float64](t, 8, 1) })
+	t.Run("float32/w1-to-w8", func(t *testing.T) { roundTrip2D[float32](t, 1, 8) })
+	t.Run("float32/w8-to-w1", func(t *testing.T) { roundTrip2D[float32](t, 8, 1) })
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	t.Run("float64/w1-to-w8", func(t *testing.T) { roundTrip3D[float64](t, 1, 8) })
+	t.Run("float64/w8-to-w1", func(t *testing.T) { roundTrip3D[float64](t, 8, 1) })
+	t.Run("float32/w1-to-w8", func(t *testing.T) { roundTrip3D[float32](t, 1, 8) })
+	t.Run("float32/w8-to-w1", func(t *testing.T) { roundTrip3D[float32](t, 8, 1) })
+}
+
+// TestDiffuseVibrationalRoundTrip covers the remaining randomness-
+// consuming domain paths: diffuse-isothermal walls (per-particle wall
+// streams) and vibrational relaxation (Evib column live).
+func TestDiffuseVibrationalRoundTrip(t *testing.T) {
+	cfg := config2D()
+	cfg.Wall = geom.DiffuseState{Model: geom.DiffuseIsothermal, WallCm: cfg.Free.Cm}
+	cfg.ZVib = 5
+	cfg.Workers = 3
+
+	straight, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight.Run(40)
+	want := golden.HashSim2D(straight)
+
+	half, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(20)
+	var buf bytes.Buffer
+	if err := half.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(20)
+	if got := golden.HashSim2D(restored); got != want {
+		t.Fatalf("diffuse+vibrational resume drifted: %#016x vs %#016x", got, want)
+	}
+}
+
+func checkpoint2D(t *testing.T, cfg sim.Config, steps int) []byte {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps)
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptionDetected flips single bytes across the stream and
+// demands every corruption is caught (checksum or structural error).
+func TestCorruptionDetected(t *testing.T) {
+	cfg := config2D()
+	raw := checkpoint2D(t, cfg, 5)
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{8, 48, len(raw) / 2, len(raw) - 4} {
+		cp := append([]byte(nil), raw...)
+		cp[off] ^= 0x40
+		if err := s.ReadCheckpoint(bytes.NewReader(cp)); err == nil {
+			t.Errorf("corruption at byte %d went undetected", off)
+		}
+	}
+	// Truncation must be caught too.
+	if err := s.ReadCheckpoint(bytes.NewReader(raw[:len(raw)-9])); err == nil {
+		t.Error("truncated checkpoint went undetected")
+	}
+}
+
+// TestShapeMismatches: restoring across kinds, precisions or grids fails
+// loudly rather than silently producing garbage.
+func TestShapeMismatches(t *testing.T) {
+	cfg := config2D()
+	raw := checkpoint2D(t, cfg, 3)
+
+	t.Run("wrong-precision", func(t *testing.T) {
+		s32, err := sim.NewOf[float32](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s32.ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Error("float64 checkpoint restored into float32 simulation")
+		}
+	})
+	t.Run("wrong-kind", func(t *testing.T) {
+		s3, err := sim3.New(config3D())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s3.ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Error("2D checkpoint restored into 3D simulation")
+		}
+	})
+	t.Run("wrong-grid", func(t *testing.T) {
+		other := cfg
+		other.NX = 32
+		s, err := sim.New(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Error("48-wide checkpoint restored into 32-wide simulation")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.ReadCheckpoint(strings.NewReader("this is not a checkpoint at all........"))
+		if err == nil {
+			t.Error("garbage stream accepted as checkpoint")
+		}
+	})
+}
+
+// TestAccumulatorRoundTrip: the sampling state checkpoints bit-for-bit
+// (the piece that makes mid-sampling job resume exact).
+func TestAccumulatorRoundTrip(t *testing.T) {
+	cfg := config2D()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.New(cfg.NX, cfg.NY)
+	acc := sample.NewAccumulator(g, s.Volumes(), cfg.NPerCell)
+	for k := 0; k < 5; k++ {
+		s.Step()
+		s.SampleInto(acc)
+	}
+
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf, ckpt.KindJob, ckpt.PrecF64, g.Cells())
+	ckpt.WriteAccumulator(w, acc)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ckpt.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc2 := sample.NewAccumulator(g, s.Volumes(), cfg.NPerCell)
+	if err := ckpt.ReadAccumulator(r, acc2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if acc2.Steps != acc.Steps {
+		t.Fatalf("steps %d != %d", acc2.Steps, acc.Steps)
+	}
+	d1, d2 := acc.Density(), acc2.Density()
+	for c := range d1 {
+		if d1[c] != d2[c] {
+			t.Fatalf("density[%d] %v != %v after round trip", c, d2[c], d1[c])
+		}
+	}
+}

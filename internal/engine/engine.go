@@ -266,6 +266,16 @@ func (e *Engine[F]) Collisions() int64 { return e.collisions }
 // Rule returns the active selection rule.
 func (e *Engine[F]) Rule() collide.Rule { return e.cfg.Rule }
 
+// RestoreCounters resets the step and collision counters to a
+// checkpointed value. The caller must also restore the store contents
+// and its domain's serial state; the phase wall-times are diagnostics
+// and deliberately not restored. The next Step re-sorts, so the sorter's
+// cell structures need no restoration either.
+func (e *Engine[F]) RestoreCounters(step int, collisions int64) {
+	e.step = step
+	e.collisions = collisions
+}
+
 // CellCounts returns the per-cell particle counts of the latest sort.
 func (e *Engine[F]) CellCounts() []int32 { return e.sorter.Counts() }
 

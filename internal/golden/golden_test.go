@@ -1,6 +1,6 @@
 // Package golden_test pins the float64 reference backends to their
 // pre-refactor output: each scenario runs a short simulation and hashes
-// every particle column bit-for-bit (FNV-1a over the IEEE-754 words)
+// every particle column bit-for-bit (the package's FNV-1a machinery)
 // together with the integer state (flow count, reservoir level, collision
 // count). The expected values were recorded from the hand-duplicated
 // sim/sim3 pipelines immediately before they were collapsed onto the
@@ -13,44 +13,14 @@
 package golden_test
 
 import (
-	"math"
 	"testing"
 
 	"dsmc/internal/baseline"
 	"dsmc/internal/geom"
+	"dsmc/internal/golden"
 	"dsmc/internal/sim"
 	"dsmc/internal/sim3"
 )
-
-func floatBits(x float64) uint64 { return math.Float64bits(x) }
-
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
-// hashWord absorbs one 64-bit word into an FNV-1a state.
-func hashWord(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= (v >> (8 * i)) & 0xff
-		h *= fnvPrime
-	}
-	return h
-}
-
-func hashFloats(h uint64, xs []float64) uint64 {
-	for _, x := range xs {
-		h = hashWord(h, floatBits(x))
-	}
-	return h
-}
-
-func hashCells(h uint64, cs []int32) uint64 {
-	for _, c := range cs {
-		h = hashWord(h, uint64(uint32(c)))
-	}
-	return h
-}
 
 // goldenConfig2D is the cheap wedge configuration the 2D scenarios
 // perturb (the unit tests' smallConfig, pinned here so test-helper edits
@@ -62,32 +32,6 @@ func goldenConfig2D() sim.Config {
 	cfg.NPerCell = 6
 	cfg.Seed = 7
 	return cfg
-}
-
-func hash2D(s *sim.Sim) uint64 {
-	st := s.Store()
-	n := st.Len()
-	h := uint64(fnvOffset)
-	h = hashWord(h, uint64(s.NFlow()))
-	h = hashWord(h, uint64(s.NReservoir()))
-	h = hashWord(h, uint64(s.Collisions()))
-	for _, col := range [][]float64{st.X, st.Y, st.U, st.V, st.W, st.R1, st.R2, st.Evib} {
-		h = hashFloats(h, col[:n])
-	}
-	return hashCells(h, st.Cell[:n])
-}
-
-func hash3D(s *sim3.Sim) uint64 {
-	st := s.Store()
-	n := st.Len()
-	h := uint64(fnvOffset)
-	h = hashWord(h, uint64(s.N()))
-	h = hashWord(h, uint64(s.Collisions()))
-	h = hashWord(h, floatBits(s.PistonX()))
-	for _, col := range [][]float64{st.X, st.Y, st.Z, st.U, st.V, st.W, st.R1, st.R2} {
-		h = hashFloats(h, col[:n])
-	}
-	return hashCells(h, st.Cell[:n])
 }
 
 // TestGolden2D: the unified engine must reproduce the pre-refactor 2D
@@ -118,7 +62,7 @@ func TestGolden2D(t *testing.T) {
 					t.Fatal(err)
 				}
 				s.Run(tc.steps)
-				if got := hash2D(s); got != tc.want {
+				if got := golden.HashSim2D(s); got != tc.want {
 					t.Errorf("workers=%d: state hash %#016x, golden %#016x",
 						workers, got, tc.want)
 				}
@@ -158,7 +102,7 @@ func TestGolden3D(t *testing.T) {
 					t.Fatal(err)
 				}
 				s.Run(tc.steps)
-				if got := hash3D(s); got != tc.want {
+				if got := golden.HashSim3D(s); got != tc.want {
 					t.Errorf("workers=%d: state hash %#016x, golden %#016x",
 						workers, got, tc.want)
 				}

@@ -1,6 +1,8 @@
 package particle
 
 import (
+	"fmt"
+
 	"dsmc/internal/collide"
 	"dsmc/internal/rng"
 )
@@ -56,6 +58,24 @@ func (rv *Reservoir) Withdraw() (collide.State5, bool) {
 	v := rv.vels[len(rv.vels)-1]
 	rv.vels = rv.vels[:len(rv.vels)-1]
 	return v, true
+}
+
+// Snapshot returns the banked thermal-frame velocities for a checkpoint.
+// The returned slice aliases the reservoir's storage: treat it as
+// read-only and do not hold it across Deposit/Withdraw/Relax.
+func (rv *Reservoir) Snapshot() []collide.State5 { return rv.vels }
+
+// Restore replaces the reservoir contents with a checkpointed snapshot.
+// It fails if the snapshot exceeds the reservoir's capacity (capacity is
+// configuration-derived, so a checkpoint taken under the same
+// configuration always fits).
+func (rv *Reservoir) Restore(vels []collide.State5) error {
+	if len(vels) > cap(rv.vels) {
+		return fmt.Errorf("particle: reservoir snapshot of %d exceeds capacity %d", len(vels), cap(rv.vels))
+	}
+	rv.vels = rv.vels[:len(vels)]
+	copy(rv.vels, vels)
+	return nil
 }
 
 // Relax performs one reservoir time step: the banked particles are

@@ -106,6 +106,53 @@ func (r *Stream) Perm(p []int) {
 	}
 }
 
+// StreamState is the exported state of a Stream — the generator word and
+// the Box–Muller spare — for checkpointing. Restoring the state and
+// continuing yields the exact draw sequence the original stream would
+// have produced.
+type StreamState struct {
+	S         uint64
+	Spare     float64
+	HaveSpare bool
+}
+
+// State exports the stream's state for a checkpoint.
+func (r *Stream) State() StreamState {
+	return StreamState{S: r.s, Spare: r.spare, HaveSpare: r.haveSpare}
+}
+
+// SetState restores a checkpointed state.
+func (r *Stream) SetState(st StreamState) {
+	r.s, r.spare, r.haveSpare = st.S, st.Spare, st.HaveSpare
+}
+
+// goldenGamma is the splitmix64 increment (the odd integer nearest
+// 2^64/φ); jobSeedTag is a fixed domain-separation constant so job-seed
+// derivation can never coincide with any other use of the master seed.
+const (
+	goldenGamma = 0x9e3779b97f4a7c15
+	jobSeedTag  = 0x6a6f625f73656564 // "job_seed"
+)
+
+// JobSeed derives the simulation seed of job index job from a master
+// seed: the splitmix64 output at state master ^ jobSeedTag + (job+1)·γ.
+// Two properties make the derivation safe for ensembles:
+//
+//   - Distinct job indices of one master can never receive equal seeds:
+//     γ is odd, so state = base + (job+1)·γ is injective in job modulo
+//     2^64, and the splitmix64 finalizer is a bijection.
+//   - A job seed cannot collide with the inner per-cell streams by
+//     construction: a simulation never uses its seed as generator state —
+//     every inner stream is keyed through StreamAt's three-round
+//     splitmix chain over (seed, epoch, lane) — so the derived value
+//     enters the stream machinery exactly as a hand-picked seed would,
+//     and the jobSeedTag domain constant keeps the derivation chain
+//     itself disjoint from StreamAt's (which never XORs the tag).
+func JobSeed(master, job uint64) uint64 {
+	st := (master ^ jobSeedTag) + job*goldenGamma
+	return splitmix64(&st)
+}
+
 // StreamAt returns the counter-based stream at coordinate (seed, epoch,
 // lane): the same triple always yields the same stream, and distinct
 // triples yield statistically independent streams (each word is absorbed

@@ -331,3 +331,39 @@ func TestStreamAtZeroSeedValid(t *testing.T) {
 		t.Errorf("zero-coordinate stream repeated values early: %d distinct of 50", len(seen))
 	}
 }
+
+func TestStreamStateRoundTrip(t *testing.T) {
+	r := NewStream(42)
+	r.Normal() // leave a Box–Muller spare cached
+	saved := r.State()
+	cont := r
+	var restored Stream
+	restored.SetState(saved)
+	for i := 0; i < 100; i++ {
+		a, b := cont.Gaussian(0, 1), restored.Gaussian(0, 1)
+		if a != b {
+			t.Fatalf("draw %d diverged after state restore: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestJobSeedDistinct(t *testing.T) {
+	const jobs = 1 << 14
+	seen := make(map[uint64]uint64, jobs)
+	for j := uint64(0); j < jobs; j++ {
+		s := JobSeed(1988, j)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("jobs %d and %d derived equal seed %#x", prev, j, s)
+		}
+		seen[s] = j
+	}
+}
+
+func TestJobSeedDeterministicAndMasterSeparated(t *testing.T) {
+	if JobSeed(7, 3) != JobSeed(7, 3) {
+		t.Error("JobSeed is not deterministic")
+	}
+	if JobSeed(7, 3) == JobSeed(8, 3) {
+		t.Error("distinct masters derived equal job seeds")
+	}
+}

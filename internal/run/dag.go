@@ -1,0 +1,222 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one unit of work in a job DAG: a Run closure plus the IDs of
+// the nodes that must complete first. An ensemble is the smallest
+// instance — replicas fan out from nothing and an aggregate node fans
+// them in — but the executor takes any acyclic dependency structure.
+type Node struct {
+	ID   string
+	Deps []string
+	Run  func(ctx context.Context) error
+}
+
+// NodeState is the lifecycle of a node during execution.
+type NodeState int
+
+// Node lifecycle states.
+const (
+	NodePending NodeState = iota
+	NodeRunning
+	NodeDone
+	NodeFailed
+	// NodeSkipped marks nodes never started because a dependency (or the
+	// context) failed first.
+	NodeSkipped
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	switch s {
+	case NodePending:
+		return "pending"
+	case NodeRunning:
+		return "running"
+	case NodeDone:
+		return "done"
+	case NodeFailed:
+		return "failed"
+	case NodeSkipped:
+		return "skipped"
+	}
+	return "unknown"
+}
+
+// ExecuteDAG runs the nodes respecting dependencies, with at most pool
+// nodes in flight at once (pool <= 0 means unbounded). It validates the
+// graph up front — duplicate IDs, unknown dependencies, and cycles are
+// errors before anything runs. On the first node failure (or context
+// cancellation) no new nodes start; in-flight nodes finish and the first
+// error is returned. onState, when non-nil, observes every state
+// transition; it is called from the scheduling goroutine only, so
+// observers need no locking of their own.
+//
+// Determinism note: ready nodes start in the deterministic order they
+// became ready (ties broken by ID), but completion order is scheduling-
+// dependent. Anything that must be reproducible — the cross-replica
+// aggregation — therefore runs inside fan-in nodes that see all their
+// dependencies' results at once and combine them in index order.
+func ExecuteDAG(ctx context.Context, nodes []Node, pool int, onState func(id string, st NodeState, err error)) error {
+	byID := make(map[string]*Node, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		if n.ID == "" {
+			return fmt.Errorf("run: node %d has an empty ID", i)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return fmt.Errorf("run: duplicate node ID %q", n.ID)
+		}
+		byID[n.ID] = n
+	}
+	indeg := make(map[string]int, len(nodes))
+	dependents := make(map[string][]string, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		indeg[n.ID] = len(n.Deps)
+		for _, d := range n.Deps {
+			if _, ok := byID[d]; !ok {
+				return fmt.Errorf("run: node %q depends on unknown node %q", n.ID, d)
+			}
+			dependents[d] = append(dependents[d], n.ID)
+		}
+	}
+	if err := checkAcyclic(indeg, dependents); err != nil {
+		return err
+	}
+
+	if pool <= 0 || pool > len(nodes) {
+		pool = len(nodes)
+	}
+	notify := func(id string, st NodeState, err error) {
+		if onState != nil {
+			onState(id, st, err)
+		}
+	}
+
+	var ready []string
+	for _, n := range nodes {
+		if indeg[n.ID] == 0 {
+			ready = append(ready, n.ID)
+		}
+	}
+	sort.Strings(ready)
+
+	type doneMsg struct {
+		id  string
+		err error
+	}
+	doneCh := make(chan doneMsg)
+	var wg sync.WaitGroup
+	running := 0
+	finished := 0
+	var firstErr error
+
+	start := func(id string) {
+		running++
+		notify(id, NodeRunning, nil)
+		n := byID[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := n.Run(ctx)
+			doneCh <- doneMsg{id: id, err: err}
+		}()
+	}
+
+	for finished < len(nodes) {
+		// Launch while capacity and work remain, unless failing.
+		for firstErr == nil && ctx.Err() == nil && running < pool && len(ready) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			start(id)
+		}
+		if running == 0 {
+			// Nothing in flight and nothing startable: everything left is
+			// blocked behind a failure or cancellation.
+			break
+		}
+		msg := <-doneCh
+		running--
+		finished++
+		if msg.err != nil {
+			notify(msg.id, NodeFailed, msg.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("run: node %q: %w", msg.id, msg.err)
+			}
+			continue
+		}
+		notify(msg.id, NodeDone, nil)
+		var unblocked []string
+		for _, dep := range dependents[msg.id] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				unblocked = append(unblocked, dep)
+			}
+		}
+		sort.Strings(unblocked)
+		ready = append(ready, unblocked...)
+	}
+	wg.Wait()
+
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		// Report everything that never started — still queued (in-degree
+		// zero) or still blocked — as skipped, in deterministic order.
+		skipped := append([]string(nil), ready...)
+		for id, d := range indeg {
+			if d > 0 {
+				skipped = append(skipped, id)
+			}
+		}
+		sort.Strings(skipped)
+		for _, id := range skipped {
+			notify(id, NodeSkipped, nil)
+		}
+	}
+	return firstErr
+}
+
+// checkAcyclic runs Kahn's algorithm on a copy of the in-degrees over
+// the executor's reverse-adjacency map and fails if any node is
+// unreachable from the sources (a cycle).
+func checkAcyclic(indeg map[string]int, dependents map[string][]string) error {
+	deg := make(map[string]int, len(indeg))
+	var queue []string
+	for id, d := range indeg {
+		deg[id] = d
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, dep := range dependents[id] {
+			deg[dep]--
+			if deg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if seen != len(indeg) {
+		var stuck []string
+		for id, d := range deg {
+			if d > 0 {
+				stuck = append(stuck, id)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("run: dependency cycle through %v", stuck)
+	}
+	return nil
+}

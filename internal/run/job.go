@@ -1,0 +1,285 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"dsmc/internal/ckpt"
+	"dsmc/internal/grid"
+	"dsmc/internal/kernel"
+	"dsmc/internal/rng"
+	"dsmc/internal/sample"
+	"dsmc/internal/sim"
+)
+
+// Scenario is one sweep point lowered to the internal configuration: a
+// wind-tunnel config plus the storage precision to instantiate it at.
+// The Seed field of Sim is ignored — every job derives its own seed from
+// the spec's base seed (rng.JobSeed), so replicas are independent by
+// construction and a sweep is reproducible from (spec, base seed) alone.
+type Scenario struct {
+	Name    string
+	Sim     sim.Config
+	Float32 bool
+}
+
+// ReplicaResult is one finished replica's contribution to the
+// aggregation: the time-averaged density field, the fitted shock angle,
+// and the integer diagnostics.
+type ReplicaResult struct {
+	Density       []float64
+	ShockAngleDeg float64
+	Collisions    int64
+	NFlow         int
+}
+
+// jobCkpt describes the checkpoint policy of one replica job.
+type jobCkpt struct {
+	path  string // "" disables checkpointing
+	every int    // steps between checkpoints (> 0 when path is set)
+}
+
+// runReplica executes one replica of a scenario: warm to steady state,
+// then sample every step into an accumulator. With a checkpoint path the
+// job persists its progress every `every` steps and resumes exactly —
+// the restored run is bit-identical to an uninterrupted one, because the
+// checkpoint carries the full engine, domain and accumulator state and
+// the step sequence does not depend on chunk boundaries.
+func runReplica(ctx context.Context, sc Scenario, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
+	if sc.Float32 {
+		return runReplicaOf[float32](ctx, sc, seed, warm, sampleSteps, ck, progress)
+	}
+	return runReplicaOf[float64](ctx, sc, seed, warm, sampleSteps, ck, progress)
+}
+
+func runReplicaOf[F kernel.Float](ctx context.Context, sc Scenario, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
+	cfg := sc.Sim
+	cfg.Seed = seed
+	s, err := sim.NewOf[F](cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	g := grid.New(cfg.NX, cfg.NY)
+	acc := sample.NewAccumulator(g, s.Volumes(), cfg.NPerCell)
+
+	done := 0 // steps completed, warm and sampling combined
+	total := warm + sampleSteps
+	fp := specFingerprint(sc, warm, sampleSteps)
+	if ck.path != "" {
+		restored, n, err := loadJobCheckpoint(ck.path, s, acc, seed, fp)
+		if err != nil {
+			return nil, err
+		}
+		if restored {
+			done = n
+		}
+	}
+	if progress != nil {
+		progress(done, total)
+	}
+
+	for done < total {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := total - done
+		if ck.path != "" && ck.every > 0 && chunk > ck.every {
+			chunk = ck.every
+		}
+		for k := 0; k < chunk; k++ {
+			s.Step()
+			if done+k+1 > warm {
+				s.SampleInto(acc)
+			}
+		}
+		done += chunk
+		if ck.path != "" {
+			if err := saveJobCheckpoint(ck.path, s, acc, seed, fp, done); err != nil {
+				return nil, err
+			}
+		}
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+
+	res := &ReplicaResult{
+		Density:    acc.Density(),
+		Collisions: s.Collisions(),
+		NFlow:      s.NFlow(),
+	}
+	res.ShockAngleDeg = shockAngleDeg(res.Density, g, cfg)
+	return res, nil
+}
+
+// saveJobCheckpoint atomically writes the job state: progress counters,
+// the full simulation, and the sampling accumulator. The write goes to a
+// temp file that is fsynced before the rename, so neither a process
+// crash mid-write nor a host crash around the rename can replace a good
+// checkpoint with a torn one — and if the filesystem still delivers a
+// corrupt file, loadJobCheckpoint detects it by checksum and falls back
+// to a fresh (bit-identical) run rather than wedging the sweep.
+func saveJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample.Accumulator, seed, fp uint64, done int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := ckpt.NewWriter(f, ckpt.KindJob, ckpt.PrecOf[F](), len(s.Volumes()))
+	w.U64(seed)
+	w.U64(fp)
+	w.U64(uint64(done))
+	s.CheckpointSections(w)
+	ckpt.WriteAccumulator(w, acc)
+	err = w.Close()
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadJobCheckpoint restores a job checkpoint if one exists, returning
+// whether a restore happened and the completed step count.
+//
+// Failure policy: a checkpoint that is merely corrupt (torn write,
+// disk damage — detected by the checksum trailer before any state is
+// applied) is discarded and the job starts fresh, which is bit-identical
+// to having resumed and costs only the recomputation; a checkpoint that
+// is structurally valid but belongs to a different job or spec — wrong
+// seed, spec fingerprint (step budget or physics knobs changed), kind,
+// precision or grid, i.e. a checkpoint directory shared across specs —
+// is a hard error, because silently ignoring it would mask the
+// misconfiguration (or worse, serve the old spec's state as the new
+// spec's result).
+func loadJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample.Accumulator, seed, fp uint64) (bool, int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, 0, nil
+	}
+	if err != nil {
+		return false, 0, err
+	}
+	if !ckpt.VerifyTrailer(data) {
+		// Corrupt: discard and recompute. The whole-buffer verification
+		// runs before RestoreSections, so a bad checkpoint can never leave
+		// the simulation half-mutated.
+		os.Remove(path)
+		return false, 0, nil
+	}
+	r, err := ckpt.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+	}
+	if err := ckpt.CheckShape(r, ckpt.KindJob, ckpt.PrecOf[F](), len(s.Volumes())); err != nil {
+		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+	}
+	ckSeed := r.U64()
+	ckFp := r.U64()
+	done := int(r.U64())
+	if r.Err() != nil {
+		return false, 0, r.Err()
+	}
+	if ckSeed != seed {
+		return false, 0, fmt.Errorf("job checkpoint %s: seed %#x does not match job seed %#x", path, ckSeed, seed)
+	}
+	if ckFp != fp {
+		return false, 0, fmt.Errorf("job checkpoint %s: spec fingerprint %#x does not match %#x (step budget or physics parameters changed; use a fresh checkpoint directory)", path, ckFp, fp)
+	}
+	if err := s.RestoreSections(r); err != nil {
+		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+	}
+	if err := ckpt.ReadAccumulator(r, acc); err != nil {
+		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+	}
+	if err := r.Close(); err != nil {
+		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+	}
+	return true, done, nil
+}
+
+// jobCkptPath names a job's checkpoint file inside the sweep's
+// checkpoint directory.
+func jobCkptPath(dir string, scenarioIdx, replica int) string {
+	return filepath.Join(dir, fmt.Sprintf("job-s%03d-r%03d.ckpt", scenarioIdx, replica))
+}
+
+// specFingerprint hashes every job parameter that determines the job's
+// trajectory — step budget, grid, physics knobs, wall model, wedge,
+// molecular model, precision — so a checkpoint directory reused after
+// the spec changed is rejected instead of silently serving the old
+// spec's state as the new spec's result. (The seed is checked
+// separately; the pluggable Scheme override is not reachable through
+// the sweep API and is therefore not fingerprinted.)
+func specFingerprint(sc Scenario, warm, sampleSteps int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+	word(uint64(warm))
+	word(uint64(sampleSteps))
+	word(uint64(sc.Sim.NX))
+	word(uint64(sc.Sim.NY))
+	f(sc.Sim.NPerCell)
+	f(sc.Sim.Free.Mach)
+	f(sc.Sim.Free.Cm)
+	f(sc.Sim.Free.Lambda)
+	f(sc.Sim.Free.Gamma)
+	f(sc.Sim.PlungerTrigger)
+	f(sc.Sim.ZVib)
+	word(uint64(sc.Sim.Wall.Model))
+	f(sc.Sim.Wall.WallCm)
+	word(uint64(sc.Sim.ReservoirCapacity))
+	if sc.Sim.Wedge != nil {
+		word(1)
+		f(sc.Sim.Wedge.LeadX)
+		f(sc.Sim.Wedge.Base)
+		f(sc.Sim.Wedge.Angle)
+	} else {
+		word(0)
+	}
+	if sc.Float32 {
+		word(1)
+	} else {
+		word(0)
+	}
+	h.Write([]byte(sc.Sim.Model.Name))
+	return h.Sum64()
+}
+
+// jobSeed derives the simulation seed of (scenario, replica) from the
+// spec's base seed; see rng.JobSeed for the non-collision argument. The
+// job index packs the scenario into the high word so sweeps of any
+// practical width cannot overlap.
+func jobSeed(base uint64, scenarioIdx, replica int) uint64 {
+	return rng.JobSeed(base, uint64(scenarioIdx)<<32|uint64(uint32(replica)))
+}
+
+// shockAngleDeg fits the oblique shock angle from a density field — the
+// identical analysis (sample.WedgeShockAngle) the public Field runs, so
+// per-replica statistics and the fit on the cross-replica mean can never
+// diverge in convention; NaN when the scenario has no wedge or no front
+// is found.
+func shockAngleDeg(density []float64, g grid.Grid, cfg sim.Config) float64 {
+	if cfg.Wedge == nil {
+		return math.NaN()
+	}
+	return sample.WedgeShockAngle(density, g,
+		cfg.Wedge.LeadX, cfg.Wedge.Base, cfg.Wedge.Angle, cfg.Free.Mach) * 180 / math.Pi
+}

@@ -1,0 +1,214 @@
+// Package run is the run-orchestration layer over the reference
+// backends: it models an ensemble or parameter sweep as a small job DAG
+// — replica simulations fan out, per-scenario aggregations fan in — and
+// executes it over a bounded pool of concurrent whole simulations. This
+// is the outer level of parallelism the paper's single hand-launched
+// runs lack: DSMC answers are statistical, so the production question is
+// "run N replicas per sweep point, aggregate into mean/variance/CI, and
+// serve the result", and whole-simulation jobs scale on multi-core hosts
+// even where the inner worker sharding is bandwidth-bound.
+//
+// Determinism: every job derives its seed from the spec's base seed
+// (rng.JobSeed — collision-free by construction), jobs never share
+// mutable state, and aggregation merges replica results strictly in
+// index order inside fan-in nodes, so a sweep's aggregates are
+// bit-identical for any pool size and any completion order. With a
+// checkpoint directory set, jobs persist engine + domain + accumulator
+// state every few steps (internal/ckpt) and resume exactly: a killed and
+// restarted sweep produces the same bits as an uninterrupted one.
+package run
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Spec describes an ensemble or sweep: one or more scenarios, each run
+// Replicas times. The zero value is not runnable; Validate reports why.
+type Spec struct {
+	// Name labels the sweep in events and results.
+	Name string
+	// Scenarios are the sweep points (one scenario = a plain ensemble).
+	Scenarios []Scenario
+	// Replicas is the number of independent replicas per scenario.
+	Replicas int
+	// WarmSteps runs before sampling starts; SampleSteps are accumulated.
+	WarmSteps, SampleSteps int
+	// BaseSeed seeds the per-job derivation (rng.JobSeed).
+	BaseSeed uint64
+	// Pool bounds the number of concurrently running simulations;
+	// 0 selects runtime.NumCPU(). Each simulation runs with its own
+	// configured Workers (default 1 when orchestrating, so the outer and
+	// inner parallelism multiply rather than oversubscribe).
+	Pool int
+	// CheckpointDir, when set, makes jobs resumable: each persists its
+	// state there every CheckpointEvery steps.
+	CheckpointDir string
+	// CheckpointEvery is the step interval between job checkpoints
+	// (default 50 when a directory is set).
+	CheckpointEvery int
+}
+
+// Validate reports spec errors.
+func (sp *Spec) Validate() error {
+	if len(sp.Scenarios) == 0 {
+		return fmt.Errorf("run: spec has no scenarios")
+	}
+	if sp.Replicas <= 0 {
+		return fmt.Errorf("run: Replicas must be positive")
+	}
+	if sp.SampleSteps <= 0 {
+		return fmt.Errorf("run: SampleSteps must be positive")
+	}
+	if sp.WarmSteps < 0 {
+		return fmt.Errorf("run: WarmSteps must not be negative")
+	}
+	seen := make(map[string]bool, len(sp.Scenarios))
+	for i, sc := range sp.Scenarios {
+		if sc.Name == "" {
+			return fmt.Errorf("run: scenario %d has no name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("run: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if err := sc.Sim.Validate(); err != nil {
+			return fmt.Errorf("run: scenario %q: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// Result is a completed sweep: one aggregate per scenario, in scenario
+// order.
+type Result struct {
+	Name       string       `json:"name"`
+	Aggregates []*Aggregate `json:"aggregates"`
+}
+
+// EventType tags a sweep event.
+type EventType string
+
+// Sweep event types.
+const (
+	EventJobStarted    EventType = "job-started"
+	EventJobProgress   EventType = "job-progress"
+	EventJobDone       EventType = "job-done"
+	EventJobFailed     EventType = "job-failed"
+	EventJobSkipped    EventType = "job-skipped"
+	EventAggregateDone EventType = "aggregate-done"
+)
+
+// Event is one observation of sweep progress. Events are delivered
+// serially (never concurrently) but their order across jobs follows
+// scheduling, not replica index.
+type Event struct {
+	Type     EventType `json:"type"`
+	Job      string    `json:"job"`
+	Scenario string    `json:"scenario,omitempty"`
+	Replica  int       `json:"replica,omitempty"`
+	// StepsDone/StepsTotal carry job progress (warm + sampling combined).
+	StepsDone  int    `json:"steps_done,omitempty"`
+	StepsTotal int    `json:"steps_total,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Run executes the spec's job DAG and returns the per-scenario
+// aggregates. onEvent, when non-nil, observes progress (serialized).
+func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	pool := sp.Pool
+	if pool <= 0 {
+		pool = runtime.NumCPU()
+	}
+	ckEvery := sp.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 50
+	}
+	if sp.CheckpointDir != "" {
+		if err := os.MkdirAll(sp.CheckpointDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// Events may arrive from any job goroutine; serialize them here so
+	// observers (NDJSON streams, progress tables) need no locking.
+	var evMu sync.Mutex
+	emit := func(e Event) {
+		if onEvent == nil {
+			return
+		}
+		evMu.Lock()
+		defer evMu.Unlock()
+		onEvent(e)
+	}
+
+	// Result slots are preallocated per (scenario, replica); jobs write
+	// only their own slot, aggregates read their scenario's slice after
+	// the DAG ordering guarantees it is fully populated.
+	results := make([][]*ReplicaResult, len(sp.Scenarios))
+	aggs := make([]*Aggregate, len(sp.Scenarios))
+	var nodes []Node
+	for si := range sp.Scenarios {
+		si := si
+		sc := sp.Scenarios[si]
+		results[si] = make([]*ReplicaResult, sp.Replicas)
+		var deps []string
+		for r := 0; r < sp.Replicas; r++ {
+			r := r
+			id := fmt.Sprintf("%s/r%03d", sc.Name, r)
+			deps = append(deps, id)
+			nodes = append(nodes, Node{
+				ID: id,
+				Run: func(ctx context.Context) error {
+					var ck jobCkpt
+					if sp.CheckpointDir != "" {
+						ck = jobCkpt{path: jobCkptPath(sp.CheckpointDir, si, r), every: ckEvery}
+					}
+					seed := jobSeed(sp.BaseSeed, si, r)
+					res, err := runReplica(ctx, sc, seed, sp.WarmSteps, sp.SampleSteps, ck,
+						func(done, total int) {
+							emit(Event{Type: EventJobProgress, Job: id, Scenario: sc.Name,
+								Replica: r, StepsDone: done, StepsTotal: total})
+						})
+					if err != nil {
+						return err
+					}
+					results[si][r] = res
+					return nil
+				},
+			})
+		}
+		nodes = append(nodes, Node{
+			ID:   sc.Name + "/aggregate",
+			Deps: deps,
+			Run: func(ctx context.Context) error {
+				aggs[si] = aggregate(sc.Name, results[si])
+				emit(Event{Type: EventAggregateDone, Job: sc.Name + "/aggregate", Scenario: sc.Name})
+				return nil
+			},
+		})
+	}
+
+	err := ExecuteDAG(ctx, nodes, pool, func(id string, st NodeState, nodeErr error) {
+		switch st {
+		case NodeRunning:
+			emit(Event{Type: EventJobStarted, Job: id})
+		case NodeFailed:
+			emit(Event{Type: EventJobFailed, Job: id, Err: nodeErr.Error()})
+		case NodeSkipped:
+			emit(Event{Type: EventJobSkipped, Job: id})
+		case NodeDone:
+			emit(Event{Type: EventJobDone, Job: id})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: sp.Name, Aggregates: aggs}, nil
+}

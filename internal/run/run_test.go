@@ -1,0 +1,436 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsmc/internal/geom"
+	"dsmc/internal/sim"
+)
+
+func testScenario(name string, lambda float64, f32 bool) Scenario {
+	cfg := sim.DefaultConfig(1)
+	cfg.NX, cfg.NY = 48, 24
+	cfg.Wedge = &geom.Wedge{LeadX: 10, Base: 12, Angle: 30 * math.Pi / 180}
+	cfg.NPerCell = 4
+	cfg.Free.Lambda = lambda
+	cfg.Workers = 1
+	return Scenario{Name: name, Sim: cfg, Float32: f32}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Name: "test",
+		Scenarios: []Scenario{
+			testScenario("rarefied", 0.5, false),
+			testScenario("near-continuum", 0, false),
+		},
+		Replicas:    3,
+		WarmSteps:   8,
+		SampleSteps: 8,
+		BaseSeed:    1988,
+	}
+}
+
+// bitsEqual compares float64 values bit for bit (NaN-safe).
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func scalarEqual(a, b ScalarStats) bool {
+	return bitsEqual(a.Mean, b.Mean) && bitsEqual(a.Variance, b.Variance) &&
+		bitsEqual(a.CI95, b.CI95) && a.N == b.N && a.Dropped == b.Dropped
+}
+
+func colsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bitsEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func aggEqual(a, b *Aggregate) bool {
+	return a.Scenario == b.Scenario && a.Replicas == b.Replicas &&
+		colsEqual(a.Density.Mean, b.Density.Mean) &&
+		colsEqual(a.Density.Variance, b.Density.Variance) &&
+		colsEqual(a.Density.CI95, b.Density.CI95) &&
+		scalarEqual(a.ShockAngleDeg, b.ShockAngleDeg) &&
+		scalarEqual(a.Collisions, b.Collisions) &&
+		scalarEqual(a.NFlow, b.NFlow)
+}
+
+// TestPoolSizeDeterminism: the same sweep at pool sizes 1 and 8 yields
+// byte-identical aggregates — pool size only changes scheduling, and
+// aggregation merges in replica-index order inside the fan-in node.
+func TestPoolSizeDeterminism(t *testing.T) {
+	var got [2]*Result
+	for i, pool := range []int{1, 8} {
+		sp := testSpec()
+		sp.Pool = pool
+		res, err := Run(context.Background(), sp, nil)
+		if err != nil {
+			t.Fatalf("pool=%d: %v", pool, err)
+		}
+		got[i] = res
+	}
+	for k := range got[0].Aggregates {
+		if !aggEqual(got[0].Aggregates[k], got[1].Aggregates[k]) {
+			t.Errorf("aggregate %q differs between pool 1 and pool 8",
+				got[0].Aggregates[k].Scenario)
+		}
+	}
+}
+
+// TestCompletionOrderIndependence drives the scheduler with fan-out
+// nodes whose completion order is forcibly reversed (later replicas
+// finish first) and asserts the fan-in sees the same aggregate as the
+// in-order execution: result slots are indexed, never appended.
+func TestCompletionOrderIndependence(t *testing.T) {
+	build := func(reverse bool) *Aggregate {
+		const n = 6
+		results := make([]*ReplicaResult, n)
+		var agg *Aggregate
+		nodes := make([]Node, 0, n+1)
+		deps := make([]string, 0, n)
+		for r := 0; r < n; r++ {
+			r := r
+			id := string(rune('a' + r))
+			deps = append(deps, id)
+			nodes = append(nodes, Node{
+				ID: id,
+				Run: func(ctx context.Context) error {
+					if reverse {
+						// Later indices finish first.
+						time.Sleep(time.Duration(n-r) * 5 * time.Millisecond)
+					}
+					results[r] = &ReplicaResult{
+						Density:       []float64{float64(r), float64(r) * 0.5},
+						ShockAngleDeg: 40 + float64(r),
+						Collisions:    int64(100 * r),
+						NFlow:         1000 + r,
+					}
+					return nil
+				},
+			})
+		}
+		nodes = append(nodes, Node{
+			ID: "agg", Deps: deps,
+			Run: func(ctx context.Context) error {
+				agg = aggregate("s", results)
+				return nil
+			},
+		})
+		if err := ExecuteDAG(context.Background(), nodes, n, nil); err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	if a, b := build(false), build(true); !aggEqual(a, b) {
+		t.Error("aggregate depends on completion order")
+	}
+}
+
+// TestCheckpointResumeBitIdentity: cancel a checkpointed sweep mid-
+// flight, re-run it from the checkpoint directory, and require the
+// aggregates to match an uninterrupted run bit for bit.
+func TestCheckpointResumeBitIdentity(t *testing.T) {
+	sp := testSpec()
+	sp.Scenarios = sp.Scenarios[:1]
+	sp.Replicas = 2
+	sp.Pool = 2
+
+	straight, err := Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	interrupted := sp
+	interrupted.CheckpointDir = dir
+	interrupted.CheckpointEvery = 4
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var sawCheckpointableProgress atomic.Bool
+	_, err = Run(ctx, interrupted, func(e Event) {
+		// Cancel once any job has committed at least one checkpoint but
+		// none can have finished (total is 16 steps, checkpoint every 4).
+		if e.Type == EventJobProgress && e.StepsDone >= 4 && e.StepsDone < e.StepsTotal {
+			sawCheckpointableProgress.Store(true)
+			cancel()
+		}
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !sawCheckpointableProgress.Load() {
+		t.Fatal("test never observed mid-job progress; cannot exercise resume")
+	}
+
+	resumed, err := Run(context.Background(), interrupted, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !aggEqual(straight.Aggregates[0], resumed.Aggregates[0]) {
+		t.Error("killed+resumed sweep aggregates differ from uninterrupted run")
+	}
+
+	// A second resume (all checkpoints now complete) recomputes the same
+	// result from the final checkpoints without re-stepping.
+	again, err := Run(context.Background(), interrupted, nil)
+	if err != nil {
+		t.Fatalf("re-resume: %v", err)
+	}
+	if !aggEqual(straight.Aggregates[0], again.Aggregates[0]) {
+		t.Error("re-resumed aggregates differ")
+	}
+}
+
+// TestFloat32Jobs: the orchestration layer dispatches float32 scenarios
+// and they aggregate deterministically too.
+func TestFloat32Jobs(t *testing.T) {
+	sp := testSpec()
+	sp.Scenarios = []Scenario{testScenario("rarefied-f32", 0.5, true)}
+	sp.Replicas = 2
+	var got [2]*Result
+	for i, pool := range []int{1, 4} {
+		sp.Pool = pool
+		res, err := Run(context.Background(), sp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = res
+	}
+	if !aggEqual(got[0].Aggregates[0], got[1].Aggregates[0]) {
+		t.Error("float32 aggregates differ across pool sizes")
+	}
+}
+
+func TestJobSeedsDistinctAcrossScenariosAndReplicas(t *testing.T) {
+	seen := map[uint64]string{}
+	for si := 0; si < 64; si++ {
+		for r := 0; r < 64; r++ {
+			s := jobSeed(1988, si, r)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and s%d/r%d", prev, si, r)
+			}
+			seen[s] = ""
+		}
+	}
+}
+
+func TestDAGValidation(t *testing.T) {
+	noop := func(ctx context.Context) error { return nil }
+	cases := []struct {
+		name  string
+		nodes []Node
+	}{
+		{"duplicate-id", []Node{{ID: "a", Run: noop}, {ID: "a", Run: noop}}},
+		{"unknown-dep", []Node{{ID: "a", Deps: []string{"ghost"}, Run: noop}}},
+		{"cycle", []Node{
+			{ID: "a", Deps: []string{"b"}, Run: noop},
+			{ID: "b", Deps: []string{"a"}, Run: noop},
+		}},
+		{"empty-id", []Node{{ID: "", Run: noop}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ExecuteDAG(context.Background(), tc.nodes, 2, nil); err == nil {
+				t.Error("invalid DAG executed without error")
+			}
+		})
+	}
+}
+
+// TestDAGFailurePropagation: a failing node stops new launches, its
+// dependents are reported skipped, and the first error surfaces.
+func TestDAGFailurePropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ran sync.Map
+	nodes := []Node{
+		{ID: "bad", Run: func(ctx context.Context) error { return boom }},
+		{ID: "child", Deps: []string{"bad"}, Run: func(ctx context.Context) error {
+			ran.Store("child", true)
+			return nil
+		}},
+	}
+	var skipped []string
+	err := ExecuteDAG(context.Background(), nodes, 1, func(id string, st NodeState, _ error) {
+		if st == NodeSkipped {
+			skipped = append(skipped, id)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the node failure", err)
+	}
+	if _, ok := ran.Load("child"); ok {
+		t.Error("dependent of failed node ran")
+	}
+	if len(skipped) != 1 || skipped[0] != "child" {
+		t.Errorf("skipped = %v, want [child]", skipped)
+	}
+}
+
+// TestDAGBoundedConcurrency: at most pool nodes run at once.
+func TestDAGBoundedConcurrency(t *testing.T) {
+	const pool = 3
+	var cur, peak atomic.Int64
+	var nodes []Node
+	for i := 0; i < 12; i++ {
+		id := string(rune('a' + i))
+		nodes = append(nodes, Node{ID: id, Run: func(ctx context.Context) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(3 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}})
+	}
+	if err := ExecuteDAG(context.Background(), nodes, pool, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > pool {
+		t.Errorf("observed %d concurrent nodes, pool is %d", p, pool)
+	}
+}
+
+// TestRunSpecValidation: broken specs fail before any simulation runs.
+func TestRunSpecValidation(t *testing.T) {
+	mutate := []func(*Spec){
+		func(sp *Spec) { sp.Scenarios = nil },
+		func(sp *Spec) { sp.Replicas = 0 },
+		func(sp *Spec) { sp.SampleSteps = 0 },
+		func(sp *Spec) { sp.WarmSteps = -1 },
+		func(sp *Spec) { sp.Scenarios[1].Name = sp.Scenarios[0].Name },
+		func(sp *Spec) { sp.Scenarios[0].Sim.NPerCell = 0 },
+	}
+	for i, m := range mutate {
+		sp := testSpec()
+		m(&sp)
+		if _, err := Run(context.Background(), sp, nil); err == nil {
+			t.Errorf("mutation %d: invalid spec ran", i)
+		}
+	}
+}
+
+// TestCorruptCheckpointFallsBackToFreshRun: a torn or damaged job
+// checkpoint (detected by the whole-file checksum before any state is
+// applied) is discarded and the job recomputes from scratch — same bits,
+// no permanently wedged sweep — instead of failing the run.
+func TestCorruptCheckpointFallsBackToFreshRun(t *testing.T) {
+	sp := testSpec()
+	sp.Scenarios = sp.Scenarios[:1]
+	sp.Replicas = 1
+
+	straight, err := Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sp.CheckpointDir = dir
+	sp.CheckpointEvery = 4
+	if _, err := Run(context.Background(), sp, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := jobCkptPath(dir, 0, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatalf("run over corrupt checkpoint failed instead of recomputing: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Error("corrupt checkpoint was neither removed nor rewritten")
+	}
+	if !aggEqual(straight.Aggregates[0], res.Aggregates[0]) {
+		t.Error("fresh recomputation after corruption drifted from the straight run")
+	}
+	// Truncation (the torn-write shape) falls back the same way.
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatalf("run over truncated checkpoint failed: %v", err)
+	}
+	if !aggEqual(straight.Aggregates[0], res.Aggregates[0]) {
+		t.Error("recomputation after truncation drifted from the straight run")
+	}
+}
+
+// TestCheckpointSeedMismatchRejected: a checkpoint directory reused by a
+// different base seed is rejected rather than silently blended.
+func TestCheckpointSeedMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	sp := testSpec()
+	sp.Scenarios = sp.Scenarios[:1]
+	sp.Replicas = 1
+	sp.CheckpointDir = dir
+	sp.CheckpointEvery = 4
+	if _, err := Run(context.Background(), sp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	sp.BaseSeed++
+	if _, err := Run(context.Background(), sp, nil); err == nil {
+		t.Error("checkpoint from a different base seed was accepted")
+	}
+}
+
+// TestCheckpointSpecChangeRejected: reusing a checkpoint directory after
+// the step budget or physics knobs changed is a hard error — the old
+// state must never be served as the new spec's result.
+func TestCheckpointSpecChangeRejected(t *testing.T) {
+	base := testSpec()
+	base.Scenarios = base.Scenarios[:1]
+	base.Replicas = 1
+	base.CheckpointDir = t.TempDir()
+	base.CheckpointEvery = 4
+	if _, err := Run(context.Background(), base, nil); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"warm-steps", func(sp *Spec) { sp.WarmSteps = 2 }},
+		{"sample-steps", func(sp *Spec) { sp.SampleSteps = 4 }},
+		{"lambda", func(sp *Spec) { sp.Scenarios[0].Sim.Free.Lambda = 0 }},
+		{"density", func(sp *Spec) { sp.Scenarios[0].Sim.NPerCell = 5 }},
+		{"precision", func(sp *Spec) { sp.Scenarios[0].Float32 = true }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			sp := base
+			sp.Scenarios = append([]Scenario(nil), base.Scenarios...)
+			m.mutate(&sp)
+			if _, err := Run(context.Background(), sp, nil); err == nil {
+				t.Error("changed spec resumed over the old checkpoint directory")
+			}
+		})
+	}
+}

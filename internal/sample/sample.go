@@ -12,6 +12,7 @@ import (
 	"dsmc/internal/grid"
 	"dsmc/internal/kernel"
 	"dsmc/internal/particle"
+	"dsmc/internal/phys"
 )
 
 // Accumulator collects time-averaged per-cell moments.
@@ -78,6 +79,14 @@ func AddFlowCellMajor[F kernel.Float](a *Accumulator, st *particle.Store[F], cel
 		}
 	})
 	a.Steps++
+}
+
+// Raw exposes the live moment columns (Σcount, Σu, Σv, Σenergy) for
+// checkpointing: a writer streams them out, a reader copies a
+// checkpointed snapshot back in. The slices alias the accumulator's
+// storage — treat them as owned by the accumulator.
+func (a *Accumulator) Raw() (count, momX, momY, enrg []float64) {
+	return a.count, a.momX, a.momY, a.enrg
 }
 
 // AddCounts accumulates a per-cell count snapshot only (density sampling
@@ -244,6 +253,29 @@ func ShockAngle(field []float64, g grid.Grid, x0, x1 int, postShock float64) flo
 	}
 	_, slope := FitLine(xs, ys)
 	return math.Atan(slope)
+}
+
+// WedgePostShockRatio returns the Rankine–Hugoniot post-shock density
+// ratio for a wedge flow — the reference level front detection keys on —
+// falling back to 3 when no attached-shock solution exists. This is the
+// one place the convention lives; the public Field analysis and the
+// orchestration layer's per-replica fits both use it.
+func WedgePostShockRatio(mach, wedgeAngleRad float64) float64 {
+	beta, err := phys.ObliqueShockBeta(mach, wedgeAngleRad, phys.GammaDiatomic)
+	if err != nil {
+		return 3
+	}
+	return phys.RHDensityRatio(phys.NormalMach(mach, beta), phys.GammaDiatomic)
+}
+
+// WedgeShockAngle fits the oblique-shock angle (radians) of a wedge-flow
+// density field over the standard ramp window — 6 cells behind the
+// leading edge to 2 cells before the trailing edge, the stretch where
+// the shock is straight and attached. NaN when no front is found.
+func WedgeShockAngle(field []float64, g grid.Grid, leadX, base, wedgeAngleRad, mach float64) float64 {
+	x0 := int(leadX) + 6
+	x1 := int(leadX + base - 2)
+	return ShockAngle(field, g, x0, x1, WedgePostShockRatio(mach, wedgeAngleRad))
 }
 
 // ShockThickness measures the 10–90% rise distance of the density through

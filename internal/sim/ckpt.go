@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"io"
+
+	"dsmc/internal/ckpt"
+)
+
+// CheckpointSections writes the wind tunnel's full mutable state as
+// sections of an open checkpoint stream: the engine counters and store,
+// then the 2D domain state — plunger position, reservoir contents, and
+// the serial RNG stream that feeds reservoir deposits and the plunger
+// refill. Callers that embed a simulation inside a larger checkpoint
+// (internal/run wraps job progress around one) use this; standalone
+// checkpoints go through WriteCheckpoint.
+func (s *SimOf[F]) CheckpointSections(w *ckpt.Writer) {
+	ckpt.WriteEngine(w, s.eng)
+	w.F64(s.dom.plungerX)
+	ckpt.WriteReservoir(w, s.dom.res)
+	ckpt.WriteStream(w, s.dom.r.State())
+}
+
+// RestoreSections restores state written by CheckpointSections into a
+// simulation built from the same configuration. Any worker count works:
+// per-phase randomness is counter-based, so no worker-local state exists
+// to restore — continuing from the restored state is bit-identical to
+// never having stopped.
+func (s *SimOf[F]) RestoreSections(r *ckpt.Reader) error {
+	if err := ckpt.ReadEngine(r, s.eng); err != nil {
+		return err
+	}
+	s.dom.plungerX = r.F64()
+	if err := ckpt.ReadReservoir(r, s.dom.res); err != nil {
+		return err
+	}
+	s.dom.r.SetState(ckpt.ReadStream(r))
+	return r.Err()
+}
+
+// WriteCheckpoint writes a standalone checkpoint of the simulation.
+func (s *SimOf[F]) WriteCheckpoint(wr io.Writer) error {
+	w := ckpt.NewWriter(wr, ckpt.Kind2D, ckpt.PrecOf[F](), s.grid.Cells())
+	s.CheckpointSections(w)
+	return w.Close()
+}
+
+// ReadCheckpoint restores a standalone checkpoint into the simulation,
+// which must have been built from the same configuration (same grid,
+// same precision; the worker count is free to differ).
+func (s *SimOf[F]) ReadCheckpoint(rd io.Reader) error {
+	r, err := ckpt.NewReader(rd)
+	if err != nil {
+		return err
+	}
+	if err := ckpt.CheckShape(r, ckpt.Kind2D, ckpt.PrecOf[F](), s.grid.Cells()); err != nil {
+		return err
+	}
+	if err := s.RestoreSections(r); err != nil {
+		return err
+	}
+	return r.Close()
+}

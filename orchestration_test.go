@@ -1,0 +1,221 @@
+package dsmc_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"dsmc"
+)
+
+func smallPublicConfig() dsmc.Config {
+	cfg := dsmc.PaperConfig()
+	cfg.GridNX, cfg.GridNY = 48, 24
+	cfg.Wedge = &dsmc.WedgeSpec{LeadX: 10, Base: 12, AngleDeg: 30}
+	cfg.ParticlesPerCell = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestConfigValidate: unknown enum values and out-of-range knobs are
+// rejected with errors instead of silently defaulting.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*dsmc.Config)
+		errPart string
+	}{
+		{"unknown-precision", func(c *dsmc.Config) { c.Precision = "float16" }, "precision"},
+		{"unknown-model", func(c *dsmc.Config) { c.Model = "lennard-jones" }, "model"},
+		{"unknown-backend", func(c *dsmc.Config) { c.Backend = dsmc.Backend(42) }, "backend"},
+		{"cm-float32", func(c *dsmc.Config) { c.Backend = dsmc.ConnectionMachine; c.Precision = dsmc.Float32 }, "fixed-point"},
+		{"negative-lambda", func(c *dsmc.Config) { c.MeanFreePath = -1 }, "MeanFreePath"},
+		{"zero-percell", func(c *dsmc.Config) { c.ParticlesPerCell = 0 }, "ParticlesPerCell"},
+		{"negative-workers", func(c *dsmc.Config) { c.Workers = -2 }, "Workers"},
+		{"negative-procs", func(c *dsmc.Config) { c.PhysProcs = -1 }, "PhysProcs"},
+		{"zero-grid", func(c *dsmc.Config) { c.GridNX = 0 }, "grid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallPublicConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted the broken configuration")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q does not mention %q", err, tc.errPart)
+			}
+			if _, err := dsmc.NewSimulation(cfg); err == nil {
+				t.Error("NewSimulation accepted the broken configuration")
+			}
+		})
+	}
+	cfg := smallPublicConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid configuration rejected: %v", err)
+	}
+}
+
+// TestPublicCheckpointRoundTrip: run(60) equals run(30)+Checkpoint+
+// RestoreSimulation+run(30) through the public API, including the
+// sampled field, for both precisions.
+func TestPublicCheckpointRoundTrip(t *testing.T) {
+	for _, prec := range []dsmc.Precision{dsmc.Float64, dsmc.Float32} {
+		t.Run(string(prec), func(t *testing.T) {
+			cfg := smallPublicConfig()
+			cfg.Precision = prec
+
+			straight, err := dsmc.NewSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight.Run(40)
+			wantField := straight.SampleDensity(20)
+
+			half, err := dsmc.NewSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half.Run(30)
+			var buf bytes.Buffer
+			if err := half.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+
+			cfg2 := cfg
+			cfg2.Workers = 3
+			restored, err := dsmc.RestoreSimulation(cfg2, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored.Run(10)
+			gotField := restored.SampleDensity(20)
+
+			if got, want := restored.StepCount(), straight.StepCount(); got != want {
+				t.Fatalf("step count %d != %d", got, want)
+			}
+			if got, want := restored.Collisions(), straight.Collisions(); got != want {
+				t.Fatalf("collisions %d != %d", got, want)
+			}
+			if got, want := restored.NFlow(), straight.NFlow(); got != want {
+				t.Fatalf("flow count %d != %d", got, want)
+			}
+			for c := range wantField.Data {
+				if math.Float64bits(gotField.Data[c]) != math.Float64bits(wantField.Data[c]) {
+					t.Fatalf("sampled density cell %d differs: %v vs %v",
+						c, gotField.Data[c], wantField.Data[c])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointCMRejected: the fixed-point backend reports checkpointing
+// as unsupported rather than silently writing nothing.
+func TestCheckpointCMRejected(t *testing.T) {
+	cfg := smallPublicConfig()
+	cfg.Backend = dsmc.ConnectionMachine
+	cfg.PhysProcs = 1024
+	s, err := dsmc.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err == nil {
+		t.Error("ConnectionMachine checkpoint succeeded")
+	}
+}
+
+// TestRunSweepPublic: a two-point sweep aggregates deterministically
+// across pool sizes through the public API, and the result surfaces a
+// usable mean Field.
+func TestRunSweepPublic(t *testing.T) {
+	spec := dsmc.SweepSpec{
+		Name: "lambda-sweep",
+		Base: smallPublicConfig(),
+		Points: []dsmc.SweepPoint{
+			{Name: "near-continuum", MeanFreePath: f64(0)},
+			{Name: "rarefied", MeanFreePath: f64(0.5)},
+		},
+		Replicas:    2,
+		WarmSteps:   8,
+		SampleSteps: 8,
+	}
+	var results [2]*dsmc.SweepResult
+	for i, pool := range []int{1, 8} {
+		spec.Pool = pool
+		res, err := dsmc.RunSweep(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	for p := range results[0].Points {
+		a, b := results[0].Points[p], results[1].Points[p]
+		if a.Name != b.Name || a.Replicas != b.Replicas {
+			t.Fatalf("point metadata differs: %+v vs %+v", a, b)
+		}
+		for c := range a.Density.Mean {
+			if math.Float64bits(a.Density.Mean[c]) != math.Float64bits(b.Density.Mean[c]) ||
+				math.Float64bits(a.Density.Variance[c]) != math.Float64bits(b.Density.Variance[c]) {
+				t.Fatalf("point %q density stats differ between pool sizes at cell %d", a.Name, c)
+			}
+		}
+		if math.Float64bits(a.ShockAngleDeg.Mean) != math.Float64bits(b.ShockAngleDeg.Mean) {
+			t.Fatalf("point %q shock angle differs between pool sizes", a.Name)
+		}
+	}
+	f := results[0].Points[1].Field()
+	if f.NX != spec.Base.GridNX || f.NY != spec.Base.GridNY {
+		t.Errorf("mean field shape %dx%d, want %dx%d", f.NX, f.NY, spec.Base.GridNX, spec.Base.GridNY)
+	}
+	if fs := f.FreestreamMean(); math.IsNaN(fs) || fs <= 0 {
+		t.Errorf("mean field freestream density %v, want positive", fs)
+	}
+}
+
+// TestRunEnsemblePublic: the single-point convenience reports the
+// replica scatter.
+func TestRunEnsemblePublic(t *testing.T) {
+	res, err := dsmc.RunEnsemble(context.Background(), smallPublicConfig(), 3, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 3 || res.NFlow.N != 3 {
+		t.Errorf("replicas recorded %d/%d, want 3/3", res.Replicas, res.NFlow.N)
+	}
+	if res.NFlow.Mean <= 0 {
+		t.Errorf("mean flow count %v, want positive", res.NFlow.Mean)
+	}
+}
+
+// TestSweepRejectsBadPoints: point overrides are validated per point.
+func TestSweepRejectsBadPoints(t *testing.T) {
+	base := smallPublicConfig()
+	base.Wedge = nil
+	_, err := dsmc.RunSweep(context.Background(), dsmc.SweepSpec{
+		Base:        base,
+		Points:      []dsmc.SweepPoint{{Name: "angled", WedgeAngleDeg: f64(25)}},
+		Replicas:    1,
+		WarmSteps:   1,
+		SampleSteps: 1,
+	}, nil)
+	if err == nil {
+		t.Error("wedge-angle override without a wedge was accepted")
+	}
+	_, err = dsmc.RunSweep(context.Background(), dsmc.SweepSpec{
+		Base:        smallPublicConfig(),
+		Points:      []dsmc.SweepPoint{{Name: "subsonic", Mach: f64(0.5)}},
+		Replicas:    1,
+		WarmSteps:   1,
+		SampleSteps: 1,
+	}, nil)
+	if err == nil {
+		t.Error("subsonic sweep point was accepted")
+	}
+}
+
+func f64(v float64) *float64 { return &v }
