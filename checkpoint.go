@@ -9,12 +9,13 @@ import (
 // mutable state — particle columns at the configured storage precision,
 // reservoir contents, RNG state, and the step/collision counters that
 // key the per-phase randomness — such that restoring it into a
-// simulation of the same configuration and continuing is bit-identical
-// to never having stopped, at any worker count. The stream carries a
-// checksum; corruption is detected on restore.
+// simulation of the same scenario and continuing is bit-identical to
+// never having stopped, at any worker count. The stream carries the
+// scenario family in its kind header (2D wind tunnel vs 3D shock tube)
+// plus a checksum; corruption is detected on restore.
 //
-// Only the Reference backend checkpoints; the ConnectionMachine backend
-// returns an error.
+// Only the engine (Reference) backends checkpoint; the ConnectionMachine
+// backend returns an error.
 func (s *Simulation) Checkpoint(w io.Writer) error {
 	if s.ref == nil {
 		return errors.New("dsmc: the ConnectionMachine backend does not support checkpointing")
@@ -24,9 +25,11 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 
 // Restore replaces the simulation's state with a checkpoint written by
 // Checkpoint. The simulation must have been built from the same
-// configuration — grid shape and precision are validated against the
-// stream header — but the worker count is free to differ: per-phase
-// randomness is counter-based, so no worker-local state exists.
+// scenario — the stream's kind header (2D vs 3D), grid shape and
+// precision are validated, so restoring a shock-tube checkpoint into a
+// wind tunnel fails with a shape error instead of corrupting state —
+// but the worker count is free to differ: per-phase randomness is
+// counter-based, so no worker-local state exists.
 func (s *Simulation) Restore(r io.Reader) error {
 	if s.ref == nil {
 		return errors.New("dsmc: the ConnectionMachine backend does not support checkpointing")
@@ -34,10 +37,12 @@ func (s *Simulation) Restore(r io.Reader) error {
 	return s.ref.ReadCheckpoint(r)
 }
 
-// RestoreSimulation builds a simulation from the configuration and
-// restores a checkpoint into it in one call.
-func RestoreSimulation(c Config, r io.Reader) (*Simulation, error) {
-	s, err := NewSimulation(c)
+// RestoreSimulation builds a simulation from any scenario (2D or 3D —
+// the restore dispatches on the checkpoint's kind header through the
+// scenario's own backend) and restores a checkpoint into it in one
+// call.
+func RestoreSimulation(sc Scenario, r io.Reader) (*Simulation, error) {
+	s, err := NewSimulation(sc)
 	if err != nil {
 		return nil, err
 	}

@@ -28,9 +28,7 @@ import (
 	"time"
 
 	"dsmc"
-	"dsmc/internal/kernel"
 	"dsmc/internal/par"
-	"dsmc/internal/sim3"
 )
 
 // Record is the schema of a bench output file. Case names are stable
@@ -80,10 +78,6 @@ type stepper interface {
 	Run(n int)
 	NFlow() int
 }
-
-type sim3Adapter[F kernel.Float] struct{ *sim3.SimOf[F] }
-
-func (a sim3Adapter[F]) NFlow() int { return a.N() }
 
 func main() {
 	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
@@ -163,12 +157,16 @@ func main() {
 		}
 		return s
 	}
-	tube3 := func(workers int) sim3.Config {
-		return sim3.Config{
-			NX: 160, NY: 16, NZ: 16,
-			Cm: 0.125, PistonSpeed: 0.131, NPerCell: 12, Seed: 3,
-			Workers: workers,
+	tube3 := func(workers int, prec dsmc.Precision) stepper {
+		s, err := dsmc.NewSimulation(dsmc.ShockTube3D{
+			GridNX: 160, GridNY: 16, GridNZ: 16,
+			ThermalSpeed: 0.125, PistonSpeed: 0.131, ParticlesPerCell: 12,
+			Seed: 3, Workers: workers, Precision: prec,
+		})
+		if err != nil {
+			log.Fatalf("bench: %v", err)
 		}
+		return s
 	}
 
 	// Established cases (names stable since PR 1/2 for baseline diffing;
@@ -182,11 +180,7 @@ func main() {
 			*warm, *steps, wedge(0.5, *sweepPerCell, w, dsmc.Float64))
 	}
 	for _, w := range par.SweepWorkers() {
-		s, err := sim3.New(tube3(w))
-		if err != nil {
-			log.Fatalf("bench: %v", err)
-		}
-		rec.add(fmt.Sprintf("shocktube3d/workers-%d", w), dsmc.Float64, w, *warm, *steps, sim3Adapter[float64]{s})
+		rec.add(fmt.Sprintf("shocktube3d/workers-%d", w), dsmc.Float64, w, *warm, *steps, tube3(w, dsmc.Float64))
 	}
 
 	// Precision sweep: the same configurations instantiated at both
@@ -196,16 +190,8 @@ func main() {
 	// memory-bound, exactly where halving the column width should pay.
 	rec.addPair("fig4-rarefied-paperscale", 1, *warm, *steps,
 		wedge(0.5, *sweepPerCell, 1, dsmc.Float64), wedge(0.5, *sweepPerCell, 1, dsmc.Float32))
-	s64, err := sim3.New(tube3(1))
-	if err != nil {
-		log.Fatalf("bench: %v", err)
-	}
-	s32, err := sim3.NewOf[float32](tube3(1))
-	if err != nil {
-		log.Fatalf("bench: %v", err)
-	}
 	rec.addPair("shocktube3d-1worker", 1, *warm, *steps,
-		sim3Adapter[float64]{s64}, sim3Adapter[float32]{s32})
+		tube3(1, dsmc.Float64), tube3(1, dsmc.Float32))
 
 	rec.precisionSpeedups()
 

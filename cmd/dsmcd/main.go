@@ -11,8 +11,17 @@
 //	GET  /v1/sweeps               list sweeps with state
 //	GET  /v1/sweeps/{id}          status: per-job states and step progress
 //	GET  /v1/sweeps/{id}/events   NDJSON progress stream (history + live)
-//	GET  /v1/sweeps/{id}/result   aggregated result (409 while running)
+//	GET  /v1/sweeps/{id}/result   aggregated result (409 while running);
+//	                              ?quantity=temperature serves one sampled
+//	                              quantity's per-point field statistics
 //	GET  /healthz                 liveness
+//
+// A spec's base is either the legacy flat 2D config ("base") or a
+// first-class scenario ("scenario": {"kind": ..., "params": {...}}) —
+// any kind, including the 3D shock tube — and "quantities" selects the
+// fields sampled in the one accumulation pass (default density). Points
+// may override physics knobs and the grid shape; each point's aggregate
+// carries its own field shape.
 //
 // Example session:
 //
@@ -21,11 +30,24 @@
 //	  "base": {"GridNX":98,"GridNY":64,"Wedge":{"LeadX":20,"Base":25,"AngleDeg":30},
 //	           "Mach":4,"ThermalSpeed":0.125,"MeanFreePath":0.5,
 //	           "ParticlesPerCell":8,"Seed":1988},
-//	  "points": [{"name":"rarefied"},{"name":"near-continuum","mean_free_path":0}],
+//	  "quantities": ["density","temperature","mach"],
+//	  "points": [{"name":"rarefied"},{"name":"near-continuum","mean_free_path":0},
+//	             {"name":"coarse","grid_nx":64,"grid_ny":48}],
 //	  "replicas": 4, "warm_steps": 600, "sample_steps": 300}'
 //	curl -s localhost:8077/v1/sweeps/sw-000000           # poll status
 //	curl -sN localhost:8077/v1/sweeps/sw-000000/events   # stream progress
 //	curl -s localhost:8077/v1/sweeps/sw-000000/result | jq '.points[].shock_angle_deg'
+//	curl -s 'localhost:8077/v1/sweeps/sw-000000/result?quantity=temperature'
+//
+// A 3D base:
+//
+//	curl -s localhost:8077/v1/sweeps -d '{
+//	  "scenario": {"kind":"shock-tube-3d","params":{
+//	    "GridNX":120,"GridNY":8,"GridNZ":8,"ThermalSpeed":0.125,
+//	    "PistonSpeed":0.131,"ParticlesPerCell":8,"Seed":3}},
+//	  "quantities": ["density","velocity-x","temperature"],
+//	  "points": [{"name":"long","grid_nx":160},{"name":"fast","piston_speed":0.2}],
+//	  "replicas": 2, "warm_steps": 100, "sample_steps": 100}'
 package main
 
 import (

@@ -298,7 +298,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("checkpoint_dir is server-managed; leave it empty"))
 		return
 	}
-	if err := spec.Base.Validate(); err != nil {
+	// The base may be the legacy flat config or a first-class scenario
+	// (any kind, including the 3D shock tube); validate whichever is set.
+	base, err := spec.BaseScenario()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := base.Validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -441,6 +448,20 @@ func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// quantityView is the JSON shape of GET /v1/sweeps/{id}/result?quantity=q:
+// one requested quantity's per-point field statistics, each with its own
+// shape header (points may run different grids).
+type quantityView struct {
+	Quantity string              `json:"quantity"`
+	Points   []quantityPointView `json:"points"`
+}
+
+type quantityPointView struct {
+	Name  string          `json:"name"`
+	Kind  string          `json:"kind,omitempty"`
+	Field dsmc.FieldStats `json:"field"`
+}
+
 func (s *server) handleResult(w http.ResponseWriter, req *http.Request) {
 	run := s.lookup(w, req)
 	if run == nil {
@@ -458,8 +479,28 @@ func (s *server) handleResult(w http.ResponseWriter, req *http.Request) {
 		// Done sweeps always carry their result: finish(res, nil) is the
 		// only path to stateDone, including recovery (which unmarshals
 		// result.json before marking the run done).
+		if q := req.URL.Query().Get("quantity"); q != "" {
+			s.writeQuantity(w, res, dsmc.Quantity(q))
+			return
+		}
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// writeQuantity serves one sampled quantity's per-point aggregates, or
+// 404 when the sweep did not sample it.
+func (s *server) writeQuantity(w http.ResponseWriter, res *dsmc.SweepResult, q dsmc.Quantity) {
+	view := quantityView{Quantity: string(q)}
+	for _, p := range res.Points {
+		fs, ok := p.Fields[q]
+		if !ok {
+			writeErr(w, http.StatusNotFound,
+				fmt.Errorf("quantity %q was not sampled by this sweep (add it to the spec's \"quantities\")", q))
+			return
+		}
+		view.Points = append(view.Points, quantityPointView{Name: p.Name, Kind: p.Kind, Field: fs})
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

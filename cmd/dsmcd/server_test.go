@@ -194,6 +194,99 @@ func TestServerValidation(t *testing.T) {
 	}
 }
 
+// TestServerScenarioSweep: a spec with a first-class 3D scenario base,
+// multi-quantity sampling and per-point grid-shape overrides runs end to
+// end; the result carries per-point field shapes, and the quantity
+// endpoint serves any sampled quantity (404 for unsampled ones).
+func TestServerScenarioSweep(t *testing.T) {
+	s, err := newServer(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ss, err := dsmc.NewScenarioSpec(dsmc.ShockTube3D{
+		GridNX: 24, GridNY: 4, GridNZ: 4,
+		ThermalSpeed: 0.125, PistonSpeed: 0.131,
+		ParticlesPerCell: 3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := submit(t, ts, dsmc.SweepSpec{
+		Name:       "tube",
+		Scenario:   ss,
+		Quantities: []dsmc.Quantity{dsmc.Density, dsmc.Temperature},
+		Points: []dsmc.SweepPoint{
+			{Name: "short"},
+			{Name: "long", GridNX: iptr(32)},
+		},
+		Replicas:    1,
+		WarmSteps:   3,
+		SampleSteps: 3,
+	})
+	if st := waitDone(t, ts, id); st.State != stateDone {
+		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res dsmc.SweepResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	wantNX := []int{24, 32}
+	for p := range res.Points {
+		fs, ok := res.Points[p].Fields[dsmc.Temperature]
+		if !ok {
+			t.Fatalf("point %d missing temperature aggregate", p)
+		}
+		if fs.NX != wantNX[p] || fs.NZ != 4 || len(fs.Mean) != wantNX[p]*16 {
+			t.Errorf("point %d temperature shape %dx%dx%d (%d cells), want NX %d",
+				p, fs.NX, fs.NY, fs.NZ, len(fs.Mean), wantNX[p])
+		}
+	}
+
+	// The quantity endpoint serves any sampled quantity per point...
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id + "/result?quantity=temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quantity endpoint status %d", resp.StatusCode)
+	}
+	var qv quantityView
+	if err := json.NewDecoder(resp.Body).Decode(&qv); err != nil {
+		t.Fatal(err)
+	}
+	if qv.Quantity != "temperature" || len(qv.Points) != 2 {
+		t.Fatalf("quantity view %+v", qv)
+	}
+	if qv.Points[1].Field.NX != 32 || len(qv.Points[1].Field.Mean) != 32*16 {
+		t.Errorf("quantity view shape %d (%d cells)", qv.Points[1].Field.NX, len(qv.Points[1].Field.Mean))
+	}
+
+	// ...and 404s for quantities the sweep never sampled.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id + "/result?quantity=mach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unsampled quantity: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func iptr(v int) *int { return &v }
+
 // TestServerRecovery: a new server over an existing data directory
 // serves finished sweeps and their results without re-running them.
 func TestServerRecovery(t *testing.T) {

@@ -137,12 +137,16 @@ func (h *harness) contourFigs(lambda float64) error {
 	fmt.Printf("%s: %d flow particles, %d steps + %d averaging\n",
 		tag, s.NFlow(), h.steps, h.avg)
 	s.Run(h.steps)
-	field := s.SampleDensity(h.avg)
+	// One sampling pass; density and temperature are both derived from it.
+	smp := s.Sample(h.avg)
+	field := smp.MustField(dsmc.Density)
+	tempField := smp.MustField(dsmc.Temperature)
 	th := s.Theory()
 
 	t := report.NewTable("Mach 4 / 30° wedge, "+tag, "quantity", "measured", "paper/theory")
 	t.AddRow("shock angle (deg)", field.ShockAngleDeg(), th.ShockAngleDeg)
 	t.AddRow("post-shock density ratio", field.PostShockMean(), th.DensityRatio)
+	t.AddRow("post-shock temperature ratio", tempField.PostShockMean(), th.TemperatureRatio)
 	paperThick := 3.0
 	if lambda > 0 {
 		paperThick = 5.0
@@ -159,6 +163,9 @@ func (h *harness) contourFigs(lambda float64) error {
 
 	// Contour figure (fig 1 / fig 4): CSV field + contour segment counts.
 	if err := h.writeField(tag+"_density", field); err != nil {
+		return err
+	}
+	if err := h.writeField(tag+"_temperature", tempField); err != nil {
 		return err
 	}
 	var levels []float64
@@ -372,8 +379,9 @@ func (h *harness) sweepSpec(ckptDir string) dsmc.SweepSpec {
 	base.Seed = h.seed
 	lam0, lam05 := 0.0, 0.5
 	return dsmc.SweepSpec{
-		Name: "rarefaction-sweep",
-		Base: base,
+		Name:       "rarefaction-sweep",
+		Base:       base,
+		Quantities: []dsmc.Quantity{dsmc.Density, dsmc.Temperature, dsmc.MachNumber},
 		Points: []dsmc.SweepPoint{
 			{Name: "near-continuum", MeanFreePath: &lam0},
 			{Name: "rarefied", MeanFreePath: &lam05},
@@ -485,7 +493,7 @@ func (h *harness) sweepResume() error {
 
 // compareSweeps demands bit-identical aggregates (NaN-safe): every
 // scalar statistic including its sample counts, and the full per-cell
-// density stats.
+// stats of every sampled quantity.
 func compareSweeps(a, b *dsmc.SweepResult) error {
 	if len(a.Points) != len(b.Points) {
 		return fmt.Errorf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
@@ -509,11 +517,20 @@ func compareSweeps(a, b *dsmc.SweepResult) error {
 		if scalarsDiffer(pa.NFlow, pb.NFlow) {
 			return fmt.Errorf("point %q flow-count stats differ", pa.Name)
 		}
-		for c := range pa.Density.Mean {
-			if bits(pa.Density.Mean[c]) != bits(pb.Density.Mean[c]) ||
-				bits(pa.Density.Variance[c]) != bits(pb.Density.Variance[c]) ||
-				bits(pa.Density.CI95[c]) != bits(pb.Density.CI95[c]) {
-				return fmt.Errorf("point %q density stats differ at cell %d", pa.Name, c)
+		if len(pa.Fields) != len(pb.Fields) {
+			return fmt.Errorf("point %q quantity sets differ", pa.Name)
+		}
+		for q, fa := range pa.Fields {
+			fb, ok := pb.Fields[q]
+			if !ok {
+				return fmt.Errorf("point %q missing quantity %q in resumed run", pa.Name, q)
+			}
+			for c := range fa.Mean {
+				if bits(fa.Mean[c]) != bits(fb.Mean[c]) ||
+					bits(fa.Variance[c]) != bits(fb.Variance[c]) ||
+					bits(fa.CI95[c]) != bits(fb.CI95[c]) {
+					return fmt.Errorf("point %q %s stats differ at cell %d", pa.Name, q, c)
+				}
 			}
 		}
 	}

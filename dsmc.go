@@ -12,15 +12,26 @@
 //     implementation on a simulated CM — virtual processors, scans,
 //     sort-based pairing, router cost model — the paper's actual system.
 //
+// The public API is organised around scenarios and quantities: a
+// Scenario (WedgeTunnel2D, EmptyTunnel2D, DoubleWedge2D, ShockTube3D)
+// describes what to simulate, NewSimulation builds the matching 2D or 3D
+// engine behind one Simulation type, and one sampling pass derives every
+// macroscopic quantity (Density, VelocityX/Y/Z, Temperature, MachNumber)
+// from the same moment accumulation.
+//
 // The quickest start:
 //
-//	cfg := dsmc.PaperConfig()
-//	cfg.ParticlesPerCell = 8 // scale down from the 512k-particle run
-//	s, err := dsmc.NewSimulation(cfg)
+//	sc := dsmc.PaperWedgeTunnel()
+//	sc.ParticlesPerCell = 8 // scale down from the 512k-particle run
+//	s, err := dsmc.NewSimulation(sc)
 //	...
-//	s.Run(600)                       // reach steady state
-//	field := s.SampleDensity(300)    // time-averaged density
+//	s.Run(600)                        // reach steady state
+//	smp := s.Sample(300)              // one pass, all moments
+//	field, _ := smp.Field(dsmc.Density)
 //	fmt.Println(field.ShockAngleDeg())
+//
+// The legacy Config/PaperConfig/SampleDensity surface keeps working as a
+// thin shim over the wedge-tunnel scenario.
 package dsmc
 
 import (
@@ -31,12 +42,10 @@ import (
 	"time"
 
 	"dsmc/internal/cmsim"
-	"dsmc/internal/geom"
-	"dsmc/internal/grid"
-	"dsmc/internal/molec"
 	"dsmc/internal/phys"
 	"dsmc/internal/sample"
 	"dsmc/internal/sim"
+	"dsmc/internal/sim3"
 )
 
 // Backend selects the implementation.
@@ -99,7 +108,12 @@ const (
 	HardSphere MolecularModel = "hard-sphere"
 )
 
-// Config specifies a wind-tunnel simulation through the public API.
+// Config specifies a 2D wind-tunnel simulation through the legacy flat
+// surface. It remains fully supported as a compatibility shim: Config
+// implements Scenario, lowering to the wedge-tunnel (or empty-tunnel)
+// scenario, so NewSimulation(cfg) keeps working unchanged. New code
+// should prefer the first-class scenario types (WedgeTunnel2D etc.),
+// which also cover the 3D shock tube and the double wedge.
 type Config struct {
 	// GridNX, GridNY are the cell-grid dimensions (unit square cells).
 	GridNX, GridNY int
@@ -157,11 +171,12 @@ func PaperConfig() Config {
 }
 
 // Validate reports configuration errors before any lowering: unknown
-// enum values (Precision, Backend, Model) and out-of-range knobs fail
-// here with a descriptive error instead of silently defaulting. The
-// physics-level checks (supersonic freestream, wedge fit, time-step
-// bound) run in the internal configuration's Validate; NewSimulation
-// applies both.
+// enum values (Precision, Backend, Model), out-of-range knobs, and a
+// wedge whose geometry does not fit the grid all fail here with a
+// descriptive error instead of silently defaulting or deferring to the
+// internal validator's lower-level message. The remaining physics-level
+// checks (supersonic freestream, time-step bound) run in the internal
+// configuration's Validate; NewSimulation applies both.
 func (c Config) Validate() error {
 	if c.GridNX <= 0 || c.GridNY <= 0 {
 		return errors.New("dsmc: grid dimensions must be positive")
@@ -171,71 +186,75 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("dsmc: unknown backend %d", c.Backend)
 	}
-	switch c.Precision {
-	case "", Float64, Float32:
-	default:
-		return fmt.Errorf("dsmc: unknown precision %q (want %q or %q)", c.Precision, Float64, Float32)
-	}
-	switch c.Model {
-	case "", Maxwell, HardSphere:
-	default:
-		return fmt.Errorf("dsmc: unknown molecular model %q (want %q or %q)", c.Model, Maxwell, HardSphere)
+	if err := validateFlow(c.MeanFreePath, c.ParticlesPerCell, c.Model, c.Precision, c.Workers); err != nil {
+		return err
 	}
 	if c.Backend == ConnectionMachine && c.Precision == Float32 {
 		return errors.New("dsmc: the ConnectionMachine backend is fixed-point; Precision must be unset or float64")
 	}
-	if c.MeanFreePath < 0 {
-		return errors.New("dsmc: MeanFreePath must not be negative (0 selects the near-continuum collide-all mode)")
-	}
-	if c.ParticlesPerCell <= 0 {
-		return errors.New("dsmc: ParticlesPerCell must be positive")
-	}
-	if c.Workers < 0 {
-		return errors.New("dsmc: Workers must not be negative (0 selects runtime.NumCPU())")
-	}
 	if c.PhysProcs < 0 {
 		return errors.New("dsmc: PhysProcs must not be negative")
+	}
+	if c.Wedge != nil {
+		if err := validateWedgeFit(*c.Wedge, c.GridNX, c.GridNY, "wedge"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// internalConfig lowers the public configuration.
-func (c Config) internalConfig() (sim.Config, error) {
-	if err := c.Validate(); err != nil {
-		return sim.Config{}, err
+// Kind returns the scenario kind the configuration lowers to:
+// KindWedgeTunnel2D, or KindEmptyTunnel2D when no wedge is set.
+func (c Config) Kind() string {
+	if c.Wedge == nil {
+		return KindEmptyTunnel2D
 	}
-	model := molec.Maxwell()
-	switch c.Model {
-	case HardSphere:
-		model = molec.HardSphere()
-	}
-	var wedge *geom.Wedge
-	if c.Wedge != nil {
-		wedge = &geom.Wedge{
-			LeadX: c.Wedge.LeadX,
-			Base:  c.Wedge.Base,
-			Angle: c.Wedge.AngleDeg * math.Pi / 180,
-		}
-	}
-	ic := sim.Config{
-		NX: c.GridNX, NY: c.GridNY,
-		Wedge: wedge,
-		Free: phys.Freestream{
-			Mach:   c.Mach,
-			Cm:     c.ThermalSpeed,
-			Lambda: c.MeanFreePath,
-			Gamma:  model.Gamma(),
-		},
-		Model:          model,
-		NPerCell:       c.ParticlesPerCell,
-		PlungerTrigger: 4,
-		Seed:           c.Seed,
-		Workers:        c.Workers,
-	}
-	return ic, ic.Validate()
+	return KindWedgeTunnel2D
 }
 
-// backend abstracts the implementations.
+// firstClass converts the legacy configuration into its first-class
+// scenario equivalent. ConnectionMachine configs have no first-class
+// form (the fixed-point backend is reachable only through Config).
+func (c Config) firstClass() (Scenario, error) {
+	if c.Backend != Reference {
+		return nil, errors.New("dsmc: only Reference-backend configs convert to a first-class scenario")
+	}
+	if c.Wedge == nil {
+		return EmptyTunnel2D{
+			GridNX: c.GridNX, GridNY: c.GridNY,
+			Mach: c.Mach, ThermalSpeed: c.ThermalSpeed, MeanFreePath: c.MeanFreePath,
+			ParticlesPerCell: c.ParticlesPerCell, Model: c.Model,
+			Precision: c.Precision, Workers: c.Workers, Seed: c.Seed,
+		}, nil
+	}
+	return WedgeTunnel2D{
+		GridNX: c.GridNX, GridNY: c.GridNY, Wedge: *c.Wedge,
+		Mach: c.Mach, ThermalSpeed: c.ThermalSpeed, MeanFreePath: c.MeanFreePath,
+		ParticlesPerCell: c.ParticlesPerCell, Model: c.Model,
+		Precision: c.Precision, Workers: c.Workers, Seed: c.Seed,
+	}, nil
+}
+
+// lower resolves the shim to the 2D tunnel plan, carrying the backend
+// selection (Reference or ConnectionMachine) the first-class scenarios
+// do not expose.
+func (c Config) lower() (*plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := lower2D(c.Kind(), c.GridNX, c.GridNY, c.Wedge, nil,
+		c.Mach, c.ThermalSpeed, c.MeanFreePath, c.ParticlesPerCell,
+		c.Model, c.Precision, c.Workers, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.backend = c.Backend
+	p.physProcs = c.PhysProcs
+	return p, nil
+}
+
+// backend abstracts the implementations behind the minimal stepping
+// surface every backend offers.
 type backend interface {
 	Step()
 	Run(n int)
@@ -243,15 +262,14 @@ type backend interface {
 	NReservoir() int
 	StepCount() int
 	Collisions() int64
-	Grid() grid.Grid
-	Volumes() []float64
 }
 
-// refBackend is the extra surface of the engine-based Reference
-// backends beyond backend: cell-sharded sampling, the phase timing
-// breakdown, and binary checkpoint/restore. Both precision
-// instantiations of sim.SimOf implement it.
-type refBackend interface {
+// engineBackend is the extra surface of the engine-based Reference
+// backends beyond backend: cell-sharded moment sampling, the phase
+// timing breakdown, and binary checkpoint/restore. All four engine
+// instantiations implement it — both precisions of the 2D wind tunnel
+// (sim.SimOf) and of the 3D shock tube (sim3.SimOf).
+type engineBackend interface {
 	backend
 	SampleInto(acc *sample.Accumulator)
 	PhaseTimes() map[string]time.Duration
@@ -259,50 +277,78 @@ type refBackend interface {
 	ReadCheckpoint(r io.Reader) error
 }
 
-// Simulation is a running wind-tunnel simulation.
+// Simulation is a running simulation of any scenario — the 2D wind
+// tunnel (either backend, either precision), the double wedge, or the
+// 3D shock tube — behind one type.
 type Simulation struct {
-	cfg Config
-	ref refBackend
-	cm  *cmsim.Sim
-	b   backend
+	scen Scenario
+	p    *plan
+	ref  engineBackend
+	cm   *cmsim.Sim
+	b    backend
 }
 
-// NewSimulation builds and initialises a simulation.
-func NewSimulation(c Config) (*Simulation, error) {
-	ic, err := c.internalConfig()
+// NewSimulation builds and initialises a simulation from any Scenario —
+// a first-class scenario value or the legacy Config shim.
+func NewSimulation(sc Scenario) (*Simulation, error) {
+	p, err := sc.lower()
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulation{cfg: c}
-	switch c.Backend {
-	case ConnectionMachine:
-		cs, err := cmsim.New(cmsim.Config{Sim: ic, PhysProcs: c.PhysProcs})
+	s := &Simulation{scen: sc, p: p}
+	switch {
+	case p.backend == ConnectionMachine:
+		cs, err := cmsim.New(cmsim.Config{Sim: *p.sim, PhysProcs: p.physProcs})
 		if err != nil {
 			return nil, err
 		}
 		s.cm = cs
 		s.b = cs
-	default:
-		switch c.Precision {
-		case "", Float64:
-			rs, err := sim.New(ic)
+	case p.sim != nil:
+		if p.precision == Float32 {
+			rs, err := sim.NewOf[float32](*p.sim)
 			if err != nil {
 				return nil, err
 			}
 			s.ref = rs
-		case Float32:
-			rs, err := sim.NewOf[float32](ic)
+		} else {
+			rs, err := sim.New(*p.sim)
 			if err != nil {
 				return nil, err
 			}
 			s.ref = rs
-		default:
-			return nil, fmt.Errorf("dsmc: unknown precision %q", c.Precision)
 		}
 		s.b = s.ref
+	case p.sim3 != nil:
+		if p.precision == Float32 {
+			rs, err := sim3.NewOf[float32](*p.sim3)
+			if err != nil {
+				return nil, err
+			}
+			s.ref = rs
+		} else {
+			rs, err := sim3.New(*p.sim3)
+			if err != nil {
+				return nil, err
+			}
+			s.ref = rs
+		}
+		s.b = s.ref
+	default:
+		return nil, fmt.Errorf("dsmc: scenario %q lowered to no backend", p.kind)
 	}
 	return s, nil
 }
+
+// Scenario returns the scenario the simulation was built from.
+func (s *Simulation) Scenario() Scenario { return s.scen }
+
+// Kind returns the running scenario's kind slug.
+func (s *Simulation) Kind() string { return s.p.kind }
+
+// Shape returns the field shape: grid dimensions NX, NY and NZ
+// (NZ = 1 for 2D scenarios).
+func (s *Simulation) Shape() (nx, ny, nz int) { return s.p.nx, s.p.ny, s.p.nz }
 
 // Step advances one time step.
 func (s *Simulation) Step() { s.b.Step() }
@@ -323,28 +369,23 @@ func (s *Simulation) StepCount() int { return s.b.StepCount() }
 func (s *Simulation) Collisions() int64 { return s.b.Collisions() }
 
 // Backend reports which implementation is running.
-func (s *Simulation) Backend() Backend { return s.cfg.Backend }
+func (s *Simulation) Backend() Backend { return s.p.backend }
 
 // SampleDensity advances the simulation `steps` further steps while
 // accumulating the time-averaged density field normalised by the
 // freestream density (the quantity plotted in the paper's figures).
+//
+// Deprecated: SampleDensity is the single-quantity shim over the
+// multi-moment sampling pass; it returns bit-identical data to
+// Sample(steps).Field(Density). New code should call Sample once and
+// derive every quantity it needs from the returned Sampling.
 func (s *Simulation) SampleDensity(steps int) *Field {
-	acc := sample.NewAccumulator(s.b.Grid(), s.b.Volumes(), s.cfg.ParticlesPerCell)
-	for k := 0; k < steps; k++ {
-		s.Step()
-		if s.ref != nil {
-			// Sharded over cell ranges on the backend's worker pool.
-			s.ref.SampleInto(acc)
-		} else {
-			acc.AddCounts(s.cm.CellCounts())
-		}
+	f, err := s.Sample(steps).Field(Density)
+	if err != nil {
+		// Density is derivable on every backend; this cannot happen.
+		panic(err)
 	}
-	return &Field{
-		NX: s.cfg.GridNX, NY: s.cfg.GridNY,
-		Data: acc.Density(),
-		grid: s.b.Grid(), vols: s.b.Volumes(),
-		wedge: s.cfg.Wedge, mach: s.cfg.Mach,
-	}
+	return f
 }
 
 // PhaseSeconds returns the cumulative wall-clock seconds per algorithm
@@ -396,33 +437,53 @@ func (s *Simulation) MicrosecondsPerParticleStep() float64 {
 	return total.Seconds() * 1e6 / float64(s.StepCount()) / float64(s.NFlow())
 }
 
-// Theory returns the inviscid-theory references for this configuration —
-// the numbers the paper validates against.
+// Theory returns the inviscid-theory references for this scenario —
+// the numbers the paper validates against, extended with the
+// Rankine–Hugoniot temperature rise and the piston-shock solution of
+// the 3D tube.
 type Theory struct {
-	ShockAngleDeg float64 // oblique shock angle (45° for the paper's case)
-	DensityRatio  float64 // Rankine–Hugoniot rise (3.7 for the paper's case)
-	Knudsen       float64 // λ∞ / wedge base
-	SpeedRatio    float64 // u∞/cm∞
-	FreestreamU   float64 // cells per step
-	Detached      bool    // no attached-shock solution exists
+	ShockAngleDeg    float64 // oblique shock angle (45° for the paper's case)
+	DensityRatio     float64 // Rankine–Hugoniot rise (3.7 for the paper's case)
+	TemperatureRatio float64 // Rankine–Hugoniot T2/T1 across the shock
+	Knudsen          float64 // λ∞ / wedge base
+	SpeedRatio       float64 // u∞/cm∞
+	FreestreamU      float64 // cells per step
+	Detached         bool    // no attached-shock solution exists
+	// ShockSpeed is the 3D piston-shock propagation speed in cells per
+	// step (0 for 2D scenarios).
+	ShockSpeed float64
 }
 
-// Theory computes the validation references from the configuration.
+// Theory computes the validation references from the scenario.
 func (s *Simulation) Theory() Theory {
-	t := Theory{
-		SpeedRatio:  s.cfg.Mach * math.Sqrt(phys.GammaDiatomic/2),
-		FreestreamU: s.cfg.Mach * s.cfg.ThermalSpeed * math.Sqrt(phys.GammaDiatomic/2),
+	gamma := s.p.gamma
+	if s.p.sim3 != nil {
+		// Piston-driven normal shock: Ms − 1/Ms = up(γ+1)/(2a1).
+		a1 := s.p.cm * math.Sqrt(gamma/2)
+		k := s.p.pistonSpeed * (gamma + 1) / (2 * a1)
+		ms := (k + math.Sqrt(k*k+4)) / 2
+		return Theory{
+			ShockSpeed:       ms * a1,
+			DensityRatio:     phys.RHDensityRatio(ms, gamma),
+			TemperatureRatio: phys.RHTemperatureRatio(ms, gamma),
+		}
 	}
-	if s.cfg.Wedge == nil {
+	t := Theory{
+		SpeedRatio:  s.p.mach * math.Sqrt(gamma/2),
+		FreestreamU: s.p.mach * s.p.cm * math.Sqrt(gamma/2),
+	}
+	if s.p.wedge == nil {
 		return t
 	}
-	t.Knudsen = s.cfg.MeanFreePath / s.cfg.Wedge.Base
-	beta, err := phys.ObliqueShockBeta(s.cfg.Mach, s.cfg.Wedge.AngleDeg*math.Pi/180, phys.GammaDiatomic)
+	t.Knudsen = s.p.lambda / s.p.wedge.Base
+	beta, err := phys.ObliqueShockBeta(s.p.mach, s.p.wedge.AngleDeg*math.Pi/180, gamma)
 	if err != nil {
 		t.Detached = true
 		return t
 	}
+	m1n := phys.NormalMach(s.p.mach, beta)
 	t.ShockAngleDeg = beta * 180 / math.Pi
-	t.DensityRatio = phys.RHDensityRatio(phys.NormalMach(s.cfg.Mach, beta), phys.GammaDiatomic)
+	t.DensityRatio = phys.RHDensityRatio(m1n, gamma)
+	t.TemperatureRatio = phys.RHTemperatureRatio(m1n, gamma)
 	return t
 }

@@ -1,0 +1,50 @@
+// Doublewedge runs the double-wedge scenario: two successive compression
+// corners on the lower wall, each launching its own oblique shock — the
+// downstream wedge sits in the flow already processed by the first, so
+// its shock is steeper than a freestream wedge of the same angle would
+// produce. The density and Mach-number fields come from one sampling
+// pass.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmc"
+)
+
+func main() {
+	sc := dsmc.DoubleWedge2D{
+		GridNX: 140, GridNY: 64,
+		Wedge:            dsmc.WedgeSpec{LeadX: 15, Base: 20, AngleDeg: 20},
+		Wedge2:           dsmc.WedgeSpec{LeadX: 70, Base: 20, AngleDeg: 25},
+		Mach:             4,
+		ThermalSpeed:     0.125,
+		MeanFreePath:     0.5,
+		ParticlesPerCell: 6,
+		Seed:             7,
+	}
+	s, err := dsmc.NewSimulation(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("double wedge (%g° then %g°): %d particles\n",
+		sc.Wedge.AngleDeg, sc.Wedge2.AngleDeg, s.NFlow())
+
+	s.Run(600)
+	smp := s.Sample(300)
+	density := smp.MustField(dsmc.Density)
+	mach := smp.MustField(dsmc.MachNumber)
+
+	fmt.Printf("freestream density %5.3f (want 1.000)\n", density.FreestreamMean())
+	// Mean Mach number over each wedge's ramp region: the second body
+	// sees slower, hotter gas.
+	m1 := mach.RegionMean(int(sc.Wedge.LeadX), 2, int(sc.Wedge.LeadX+sc.Wedge.Base), 16)
+	m2 := mach.RegionMean(int(sc.Wedge2.LeadX), 2, int(sc.Wedge2.LeadX+sc.Wedge2.Base), 16)
+	fmt.Printf("mean Mach above first wedge  %4.2f\n", m1)
+	fmt.Printf("mean Mach above second wedge %4.2f (post-shock flow is slower)\n", m2)
+
+	fmt.Println()
+	fmt.Println("density field (flow left to right, both wedges at the bottom):")
+	fmt.Print(density.ASCII())
+}

@@ -1,9 +1,10 @@
-// Shocktube runs the 3D extension (the paper's future work): a piston —
-// the 3D analogue of the paper's plunger — drives into quiescent gas and
-// launches a normal shock. The shock's propagation speed and the density
-// rise behind it are validated against the exact piston-shock /
-// Rankine–Hugoniot solution, just as the oblique shock validates the 2D
-// wedge flow.
+// Shocktube runs the 3D extension (the paper's future work) through the
+// public scenario API: a piston — the 3D analogue of the paper's plunger
+// — drives into quiescent gas and launches a normal shock. The shock's
+// propagation speed and the density and temperature rises behind it are
+// validated against the exact piston-shock / Rankine–Hugoniot solution,
+// just as the oblique shock validates the 2D wedge flow. One sampling
+// pass supplies density, velocity and temperature fields together.
 package main
 
 import (
@@ -12,48 +13,89 @@ import (
 	"math"
 	"strings"
 
-	"dsmc/internal/sim3"
+	"dsmc"
 )
 
-func main() {
-	cfg := sim3.Config{
-		NX: 160, NY: 4, NZ: 4,
-		Cm:          0.125,
-		Lambda:      0,     // near-continuum for the sharpest front
-		PistonSpeed: 0.131, // shock Mach number ≈ 2
-		NPerCell:    14,
-		Seed:        3,
+// shockFront locates the half-rise crossing of a density profile,
+// scanning downstream from the piston; NaN if no front is found.
+func shockFront(prof []float64, pistonX, ratio float64) float64 {
+	level := (1 + ratio) / 2
+	start := int(pistonX)
+	if start < 0 {
+		start = 0
 	}
-	s, err := sim3.New(cfg)
+	for ix := start; ix+1 < len(prof); ix++ {
+		if prof[ix] >= level && prof[ix+1] < level {
+			t := (prof[ix] - level) / (prof[ix] - prof[ix+1])
+			return float64(ix) + 0.5 + t
+		}
+	}
+	return math.NaN()
+}
+
+func main() {
+	sc := dsmc.ShockTube3D{
+		GridNX: 160, GridNY: 4, GridNZ: 4,
+		ThermalSpeed:     0.125,
+		MeanFreePath:     0,     // near-continuum for the sharpest front
+		PistonSpeed:      0.131, // shock Mach number ≈ 2
+		ParticlesPerCell: 14,
+		Seed:             3,
+	}
+	s, err := dsmc.NewSimulation(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	wantSpeed, wantRatio := cfg.Theory()
+	th := s.Theory()
 	fmt.Printf("3D shock tube: %d particles, piston speed %.3f cells/step\n",
-		s.N(), cfg.PistonSpeed)
-	fmt.Printf("theory: shock speed %.4f cells/step, density ratio %.3f\n\n",
-		wantSpeed, wantRatio)
+		s.NFlow(), sc.PistonSpeed)
+	fmt.Printf("theory: shock speed %.4f cells/step, density ratio %.3f, temperature ratio %.3f\n\n",
+		th.ShockSpeed, th.DensityRatio, th.TemperatureRatio)
 
+	// Warm up, then measure the front over short sampling windows (long
+	// averages would smear the moving shock).
 	s.Run(250)
-	x0 := s.ShockPosition()
-	step0 := s.StepCount()
-	for k := 0; k < 5; k++ {
-		s.Run(70)
-		x := s.ShockPosition()
-		fmt.Printf("step %4d: piston %6.1f, shock %6.1f, post-shock density %.3f\n",
-			s.StepCount(), s.PistonX(), x, s.PostShockDensity())
+	const window = 10
+	smpProfile := func() ([]float64, []float64) {
+		m := s.Sample(window)
+		return m.MustField(dsmc.Density).ProfileX(), m.MustField(dsmc.Temperature).ProfileX()
 	}
-	speed := (s.ShockPosition() - x0) / float64(s.StepCount()-step0)
+	prof0, _ := smpProfile()
+	pistonX := func() float64 { return sc.PistonSpeed * float64(s.StepCount()) }
+	x0, step0 := shockFront(prof0, pistonX(), th.DensityRatio), s.StepCount()
+
+	var prof, temp []float64
+	for k := 0; k < 5; k++ {
+		s.Run(60)
+		prof, temp = smpProfile()
+		x := shockFront(prof, pistonX(), th.DensityRatio)
+		fmt.Printf("step %4d: piston %6.1f, shock %6.1f\n", s.StepCount(), pistonX(), x)
+	}
+	speed := (shockFront(prof, pistonX(), th.DensityRatio) - x0) / float64(s.StepCount()-step0)
 	fmt.Printf("\nmeasured shock speed %.4f cells/step (theory %.4f, error %.1f%%)\n",
-		speed, wantSpeed, 100*math.Abs(speed-wantSpeed)/wantSpeed)
+		speed, th.ShockSpeed, 100*math.Abs(speed-th.ShockSpeed)/th.ShockSpeed)
+
+	// Post-shock plateau: mean density and temperature between piston and
+	// front, with two cells of cushion at each end.
+	lo := int(pistonX()) + 2
+	hi := int(shockFront(prof, pistonX(), th.DensityRatio)) - 2
+	if hi > lo {
+		var rho, tt float64
+		for ix := lo; ix < hi; ix++ {
+			rho += prof[ix]
+			tt += temp[ix]
+		}
+		rho /= float64(hi - lo)
+		tt /= float64(hi - lo)
+		fmt.Printf("post-shock density     %.3f (theory %.3f)\n", rho, th.DensityRatio)
+		fmt.Printf("post-shock temperature %.3f (theory %.3f)\n", tt, th.TemperatureRatio)
+	}
 
 	// Density profile along the tube.
 	fmt.Println("\ndensity profile (piston at left, quiescent gas at right):")
-	prof := s.DensityProfile()
 	const rows = 8
-	_, maxRho := cfg.Theory()
 	for row := rows; row >= 1; row-- {
-		level := maxRho * float64(row) / rows
+		level := th.DensityRatio * float64(row) / rows
 		var b strings.Builder
 		for ix := 0; ix < len(prof); ix += 2 {
 			if prof[ix] >= level {

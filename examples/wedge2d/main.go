@@ -17,18 +17,18 @@ import (
 )
 
 func runCase(name string, lambda float64) *dsmc.Field {
-	cfg := dsmc.PaperConfig()
-	cfg.MeanFreePath = lambda
-	cfg.ParticlesPerCell = 8
-	cfg.Seed = 11
+	sc := dsmc.PaperWedgeTunnel()
+	sc.MeanFreePath = lambda
+	sc.ParticlesPerCell = 8
+	sc.Seed = 11
 
-	s, err := dsmc.NewSimulation(cfg)
+	s, err := dsmc.NewSimulation(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-15s running %d particles...\n", name, s.NFlow())
 	s.Run(600)
-	field := s.SampleDensity(300)
+	field := s.Sample(300).MustField(dsmc.Density)
 
 	th := s.Theory()
 	fmt.Printf("  shock angle    %5.1f°  (theory %.1f°)\n", field.ShockAngleDeg(), th.ShockAngleDeg)

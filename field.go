@@ -10,21 +10,117 @@ import (
 )
 
 // Field is a time-averaged macroscopic field over the cell grid,
-// normalised by its freestream value (density fields read 1.0 in
-// undisturbed flow).
+// normalised by its freestream value (density and temperature fields
+// read 1.0 in undisturbed flow). The shape header carries the grid
+// dimensions including depth: NZ = 1 for 2D scenarios, and 3D scenarios
+// produce NZ > 1 fields whose Slice, ProjectXY and ProfileX views feed
+// the 2D analysis and renderers.
 type Field struct {
-	NX, NY int
-	// Data holds NY rows of NX values, row-major from the lower wall.
+	NX, NY, NZ int
+	// Quantity names what the field measures (Density unless derived
+	// otherwise through Sampling.Field).
+	Quantity Quantity
+	// Data holds NZ planes of NY rows of NX values, row-major from the
+	// lower wall (x fastest), matching the engine's cell indexing.
 	Data []float64
 
-	grid  grid.Grid
-	vols  []float64
+	grid  grid.Grid // one z-plane
+	vols  []float64 // per-cell gas volumes of one plane; nil = unit
 	wedge *WedgeSpec
 	mach  float64
 }
 
-// At reads the field at cell (ix, iy).
+// Dims returns 2 or 3.
+func (f *Field) Dims() int {
+	if f.NZ > 1 {
+		return 3
+	}
+	return 2
+}
+
+// At reads the field at cell (ix, iy) of the first z-plane (the only
+// plane for 2D fields); use At3 or Slice for the depth dimension.
 func (f *Field) At(ix, iy int) float64 { return f.Data[f.grid.Index(ix, iy)] }
+
+// At3 reads the field at cell (ix, iy, iz).
+func (f *Field) At3(ix, iy, iz int) float64 {
+	return f.Data[iz*f.NX*f.NY+f.grid.Index(ix, iy)]
+}
+
+// Slice extracts the 2D x-y field of plane iz.
+func (f *Field) Slice(iz int) *Field {
+	n := f.NX * f.NY
+	return &Field{
+		NX: f.NX, NY: f.NY, NZ: 1,
+		Quantity: f.Quantity,
+		Data:     append([]float64(nil), f.Data[iz*n:(iz+1)*n]...),
+		grid:     f.grid,
+		vols:     f.planeVols(),
+		wedge:    f.wedge,
+		mach:     f.mach,
+	}
+}
+
+// ProjectXY averages the field over z, returning the 2D x-y view (a
+// copy of the field itself for NZ = 1).
+func (f *Field) ProjectXY() *Field {
+	n := f.NX * f.NY
+	data := make([]float64, n)
+	for iz := 0; iz < f.NZ; iz++ {
+		plane := f.Data[iz*n : (iz+1)*n]
+		for c, v := range plane {
+			data[c] += v
+		}
+	}
+	for c := range data {
+		data[c] /= float64(f.NZ)
+	}
+	return &Field{
+		NX: f.NX, NY: f.NY, NZ: 1,
+		Quantity: f.Quantity,
+		Data:     data,
+		grid:     f.grid,
+		vols:     f.planeVols(),
+		wedge:    f.wedge,
+		mach:     f.mach,
+	}
+}
+
+// ProfileX returns the field averaged over the cross-section (all y and
+// z) for each x — the 1D view of a shock-tube field.
+func (f *Field) ProfileX() []float64 {
+	out := make([]float64, f.NX)
+	slab := float64(f.NY * f.NZ)
+	for c, v := range f.Data {
+		out[c%f.NX] += v
+	}
+	for ix := range out {
+		out[ix] /= slab
+	}
+	return out
+}
+
+// plane returns the 2D view the analysis and renderers operate on: the
+// field itself in 2D, the z-averaged projection in 3D.
+func (f *Field) plane() *Field {
+	if f.NZ <= 1 {
+		return f
+	}
+	return f.ProjectXY()
+}
+
+// planeVols returns one plane's volume table, substituting unit volumes
+// when none is attached (3D fields and projections).
+func (f *Field) planeVols() []float64 {
+	if f.vols != nil {
+		return f.vols
+	}
+	vols := make([]float64, f.NX*f.NY)
+	for i := range vols {
+		vols[i] = 1
+	}
+	return vols
+}
 
 // Max returns the largest field value.
 func (f *Field) Max() float64 {
@@ -38,49 +134,60 @@ func (f *Field) Max() float64 {
 }
 
 // ASCII renders the field as a text map scaled to [0, max], flow moving
-// left to right, the lower wall at the bottom.
+// left to right, the lower wall at the bottom (the z-averaged projection
+// for 3D fields).
 func (f *Field) ASCII() string {
-	return sample.ASCIIMap(f.Data, f.grid, 0, f.Max())
+	p := f.plane()
+	return sample.ASCIIMap(p.Data, p.grid, 0, p.Max())
 }
 
 // Surface renders the field as banded "density surface" text, the
 // figure-2/5 view of the paper.
 func (f *Field) Surface(bands int) string {
-	return sample.SurfaceASCII(f.Data, f.grid, f.Max(), bands)
+	p := f.plane()
+	return sample.SurfaceASCII(p.Data, p.grid, p.Max(), bands)
 }
 
-// WriteCSV writes the field as an NY×NX grid of comma-separated values.
+// WriteCSV writes the field as an NY×NX grid of comma-separated values
+// (the z-averaged projection for 3D fields).
 func (f *Field) WriteCSV(w io.Writer) error {
-	return sample.WriteCSV(w, f.Data, f.grid)
+	p := f.plane()
+	return sample.WriteCSV(w, p.Data, p.grid)
 }
 
 // WritePGM writes the field as an 8-bit grayscale PGM image.
 func (f *Field) WritePGM(w io.Writer) error {
-	return sample.WritePGM(w, f.Data, f.grid, 0, f.Max())
+	p := f.plane()
+	return sample.WritePGM(w, p.Data, p.grid, 0, p.Max())
 }
 
 // Contours extracts the level-set segments at the given level.
 func (f *Field) Contours(level float64) []sample.Segment {
-	return sample.Contour(f.Data, f.grid, level)
+	p := f.plane()
+	return sample.Contour(p.Data, p.grid, level)
 }
 
 // Window extracts a sub-field — e.g. the stagnation-region zoom of the
-// paper's figures 3 and 6.
+// paper's figures 3 and 6 (the z-averaged projection for 3D fields).
 func (f *Field) Window(x0, y0, x1, y1 int) *Field {
-	data, w, h := sample.Window(f.Data, f.grid, x0, y0, x1, y1)
+	p := f.plane()
+	data, w, h := sample.Window(p.Data, p.grid, x0, y0, x1, y1)
 	sub := grid.New(w, h)
+	pvols := p.planeVols()
 	vols := make([]float64, w*h)
 	for iy := y0; iy < y1; iy++ {
 		for ix := x0; ix < x1; ix++ {
-			vols[sub.Index(ix-x0, iy-y0)] = f.vols[f.grid.Index(ix, iy)]
+			vols[sub.Index(ix-x0, iy-y0)] = pvols[p.grid.Index(ix, iy)]
 		}
 	}
-	return &Field{NX: w, NY: h, Data: data, grid: sub, vols: vols, mach: f.mach}
+	return &Field{NX: w, NY: h, NZ: 1, Quantity: f.Quantity, Data: data, grid: sub, vols: vols, mach: f.mach}
 }
 
-// RegionMean averages over [x0,x1)×[y0,y1), skipping solid cells.
+// RegionMean averages over [x0,x1)×[y0,y1), skipping solid cells (the
+// z-averaged projection for 3D fields).
 func (f *Field) RegionMean(x0, y0, x1, y1 int) float64 {
-	return sample.RegionMean(f.Data, f.grid, f.vols, x0, y0, x1, y1)
+	p := f.plane()
+	return sample.RegionMean(p.Data, p.grid, p.planeVols(), x0, y0, x1, y1)
 }
 
 // ShockAngleDeg locates the oblique shock above the wedge ramp and
@@ -126,7 +233,7 @@ func (f *Field) PostShockMean() float64 {
 func (f *Field) wallProfile() (x0 int, prof []float64) {
 	x0 = int(f.wedge.LeadX+f.wedge.Base) + 1
 	for ix := x0; ix < f.NX-1; ix++ {
-		v := sample.RegionMean(f.Data, f.grid, f.vols, ix, 0, ix+1, 4)
+		v := sample.RegionMean(f.Data, f.grid, f.planeVols(), ix, 0, ix+1, 4)
 		if math.IsNaN(v) {
 			v = 0
 		}
@@ -209,7 +316,7 @@ func (f *Field) WakeBaseDensity() float64 {
 		return math.NaN()
 	}
 	x0 := int(f.wedge.LeadX+f.wedge.Base) + 1
-	return sample.RegionMean(f.Data, f.grid, f.vols, x0, 0, x0+6, 4)
+	return sample.RegionMean(f.Data, f.grid, f.planeVols(), x0, 0, x0+6, 4)
 }
 
 // theoreticalRatio returns the RH post-shock density ratio for the wedge,

@@ -45,7 +45,9 @@ import (
 const Magic uint64 = 0x44534d43434b5054
 
 // Version is the current format version; readers reject others.
-const Version uint32 = 1
+// Version 2 added the Σw moment column to the accumulator section (the
+// multi-quantity sampling redesign).
+const Version uint32 = 2
 
 // Kind tags the simulation family a checkpoint belongs to.
 type Kind uint8
@@ -212,6 +214,11 @@ type Reader struct {
 	cells int
 }
 
+// ErrVersion reports a checkpoint written by a different format version.
+// Callers with a cheap recompute path (the job resume) treat it like
+// corruption — discard and start fresh — instead of failing hard.
+var ErrVersion = errors.New("ckpt: unsupported format version")
+
 // NewReader consumes and validates the header. The caller checks Kind,
 // Precision and Cells against the simulation it is restoring into.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -220,7 +227,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("ckpt: bad magic %#016x", m)
 	}
 	if v := cr.U64(); v != uint64(Version) {
-		return nil, fmt.Errorf("ckpt: unsupported version %d (want %d)", v, Version)
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrVersion, v, Version)
 	}
 	cr.kind = Kind(cr.U64())
 	cr.prec = Prec(cr.U64())
@@ -478,20 +485,21 @@ func ReadStream(r *Reader) rng.StreamState {
 // WriteAccumulator writes a sample accumulator's step count and moment
 // columns.
 func WriteAccumulator(w *Writer, a *sample.Accumulator) {
-	count, momX, momY, enrg := a.Raw()
+	count, momX, momY, momZ, enrg := a.Raw()
 	w.U64(uint64(a.Steps))
 	w.F64s(count)
 	w.F64s(momX)
 	w.F64s(momY)
+	w.F64s(momZ)
 	w.F64s(enrg)
 }
 
 // ReadAccumulator restores an accumulator written by WriteAccumulator.
 // The accumulator must cover the same grid (equal column lengths).
 func ReadAccumulator(r *Reader, a *sample.Accumulator) error {
-	count, momX, momY, enrg := a.Raw()
+	count, momX, momY, momZ, enrg := a.Raw()
 	steps := int(r.U64())
-	for _, col := range [][]float64{count, momX, momY, enrg} {
+	for _, col := range [][]float64{count, momX, momY, momZ, enrg} {
 		if n := r.F64s(col); r.Err() == nil && n != len(col) {
 			return fmt.Errorf("%w: accumulator column length %d, grid wants %d", ErrShape, n, len(col))
 		}

@@ -96,13 +96,30 @@ func (w Wedge) Faces() [2]Face {
 	}
 }
 
-// Tunnel is the wind-tunnel domain: x in [0, W], y in [0, H], with an
-// optional wedge on the lower wall. The upstream (x=0) boundary is the
-// plunger, owned by the simulation; the downstream (x=W) boundary is the
-// soft sink, also owned by the simulation.
+// Tunnel is the wind-tunnel domain: x in [0, W], y in [0, H], with up to
+// two disjoint wedges on the lower wall (the second supports the
+// double-wedge scenario; nil for the paper's single-body runs). The
+// upstream (x=0) boundary is the plunger, owned by the simulation; the
+// downstream (x=W) boundary is the soft sink, also owned by the
+// simulation.
 type Tunnel struct {
-	W, H  float64
-	Wedge *Wedge
+	W, H   float64
+	Wedge  *Wedge
+	Wedge2 *Wedge
+}
+
+// ContainingWedge returns the wedge strictly containing p, or nil. The
+// wedges are disjoint by construction (the simulation validates it), so
+// at most one can contain a point; Wedge is checked first, preserving
+// the single-body behaviour bit for bit.
+func (t *Tunnel) ContainingWedge(p Vec2) *Wedge {
+	if t.Wedge != nil && t.Wedge.Contains(p) {
+		return t.Wedge
+	}
+	if t.Wedge2 != nil && t.Wedge2.Contains(p) {
+		return t.Wedge2
+	}
+	return nil
 }
 
 // maxBounces bounds the mirror iteration; a particle cannot legitimately
@@ -118,22 +135,21 @@ const maxBounces = 8
 // position and velocity.
 func (t *Tunnel) ReflectSpecular(p, v Vec2) (Vec2, Vec2) {
 	for b := 0; b < maxBounces; b++ {
-		switch {
-		case p.Y < 0:
+		if p.Y < 0 {
 			p.Y = -p.Y
 			if v.Y < 0 {
 				v.Y = -v.Y
 			}
-		case p.Y > t.H:
+		} else if p.Y > t.H {
 			p.Y = 2*t.H - p.Y
 			if v.Y > 0 {
 				v.Y = -v.Y
 			}
-		case t.Wedge != nil && t.Wedge.Contains(p):
-			f := t.nearestWedgeFace(p)
+		} else if w := t.ContainingWedge(p); w != nil {
+			f := nearestWedgeFace(w, p)
 			p = f.MirrorPosition(p)
 			v = f.ReflectVelocity(v)
-		default:
+		} else {
 			return p, v
 		}
 	}
@@ -146,8 +162,8 @@ func (t *Tunnel) ReflectSpecular(p, v Vec2) (Vec2, Vec2) {
 // nearestWedgeFace returns the wedge face with the smallest penetration
 // depth for an interior point — the surface the particle most plausibly
 // crossed during the step.
-func (t *Tunnel) nearestWedgeFace(p Vec2) Face {
-	faces := t.Wedge.Faces()
+func nearestWedgeFace(w *Wedge, p Vec2) Face {
+	faces := w.Faces()
 	best := faces[0]
 	bestDepth := best.Depth(p)
 	if d := faces[1].Depth(p); d < bestDepth {
@@ -156,7 +172,12 @@ func (t *Tunnel) nearestWedgeFace(p Vec2) Face {
 	return best
 }
 
-// clampFree nudges a position to the domain interior outside the wedge.
+// NearestFace returns the gas-facing face of w with the smallest
+// penetration depth for an interior point (the surface a just-moved
+// particle most plausibly crossed).
+func (w *Wedge) NearestFace(p Vec2) Face { return nearestWedgeFace(w, p) }
+
+// clampFree nudges a position to the domain interior outside the wedges.
 func (t *Tunnel) clampFree(p Vec2) Vec2 {
 	if p.Y < 0 {
 		p.Y = 0
@@ -164,18 +185,18 @@ func (t *Tunnel) clampFree(p Vec2) Vec2 {
 	if p.Y > t.H {
 		p.Y = t.H
 	}
-	if t.Wedge != nil && t.Wedge.Contains(p) {
-		f := t.nearestWedgeFace(p)
+	if w := t.ContainingWedge(p); w != nil {
+		f := nearestWedgeFace(w, p)
 		p = p.Add(f.N.Scale(f.Depth(p) + 1e-9))
 	}
 	return p
 }
 
 // Inside reports whether p lies in the gas region of the tunnel
-// (within the walls and outside the wedge).
+// (within the walls and outside the wedges).
 func (t *Tunnel) Inside(p Vec2) bool {
 	if p.Y < 0 || p.Y > t.H || p.X < 0 || p.X > t.W {
 		return false
 	}
-	return t.Wedge == nil || !t.Wedge.Contains(p)
+	return t.ContainingWedge(p) == nil
 }

@@ -64,41 +64,45 @@ func (g Grid) Center(idx int) (x, y float64) {
 }
 
 // Volumes returns the gas-accessible volume (area, in 2D) of every cell:
-// 1 for free cells, the fractional volume for cells divided by the wedge,
-// and 0 for cells entirely inside the body. The paper notes this special
+// 1 for free cells, the fractional volume for cells divided by a wedge,
+// and 0 for cells entirely inside a body. The paper notes this special
 // allowance is needed wherever the rectangular grid cuts the smooth wedge
-// surface.
-func (g Grid) Volumes(w *geom.Wedge) []float64 {
+// surface. Multiple (disjoint) wedges each subtract their own overlap;
+// nil entries are skipped, so the historical single-wedge call sites are
+// unchanged.
+func (g Grid) Volumes(ws ...*geom.Wedge) []float64 {
 	vols := make([]float64, g.Cells())
 	for i := range vols {
 		vols[i] = 1
 	}
-	if w == nil {
-		return vols
-	}
-	tri := w.Vertices()
-	poly := []geom.Vec2{tri[0], tri[1], tri[2]}
-	// Only cells overlapping the wedge's bounding box need clipping.
-	ix0 := int(math.Floor(w.LeadX))
-	ix1 := int(math.Ceil(w.TrailX()))
-	iy1 := int(math.Ceil(w.Height()))
-	for iy := 0; iy < iy1 && iy < g.NY; iy++ {
-		for ix := ix0; ix < ix1 && ix < g.NX; ix++ {
-			if ix < 0 || iy < 0 {
-				continue
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		tri := w.Vertices()
+		poly := []geom.Vec2{tri[0], tri[1], tri[2]}
+		// Only cells overlapping the wedge's bounding box need clipping.
+		ix0 := int(math.Floor(w.LeadX))
+		ix1 := int(math.Ceil(w.TrailX()))
+		iy1 := int(math.Ceil(w.Height()))
+		for iy := 0; iy < iy1 && iy < g.NY; iy++ {
+			for ix := ix0; ix < ix1 && ix < g.NX; ix++ {
+				if ix < 0 || iy < 0 {
+					continue
+				}
+				cell := []geom.Vec2{
+					{X: float64(ix), Y: float64(iy)},
+					{X: float64(ix + 1), Y: float64(iy)},
+					{X: float64(ix + 1), Y: float64(iy + 1)},
+					{X: float64(ix), Y: float64(iy + 1)},
+				}
+				overlap := PolyArea(ClipPolygon(cell, poly))
+				v := vols[g.Index(ix, iy)] - overlap
+				if v < 0 {
+					v = 0
+				}
+				vols[g.Index(ix, iy)] = v
 			}
-			cell := []geom.Vec2{
-				{X: float64(ix), Y: float64(iy)},
-				{X: float64(ix + 1), Y: float64(iy)},
-				{X: float64(ix + 1), Y: float64(iy + 1)},
-				{X: float64(ix), Y: float64(iy + 1)},
-			}
-			overlap := PolyArea(ClipPolygon(cell, poly))
-			v := 1 - overlap
-			if v < 0 {
-				v = 0
-			}
-			vols[g.Index(ix, iy)] = v
 		}
 	}
 	return vols

@@ -21,14 +21,15 @@ type FieldStats struct {
 	CI95     []float64 `json:"ci95"`
 }
 
-// Aggregate is the fan-in result of one scenario's replicas.
+// Aggregate is the fan-in result of one scenario's replicas: per-cell
+// statistics for every requested quantity, keyed by quantity slug.
 type Aggregate struct {
-	Scenario      string      `json:"scenario"`
-	Replicas      int         `json:"replicas"`
-	Density       FieldStats  `json:"density"`
-	ShockAngleDeg ScalarStats `json:"shock_angle_deg"`
-	Collisions    ScalarStats `json:"collisions"`
-	NFlow         ScalarStats `json:"nflow"`
+	Scenario      string                `json:"scenario"`
+	Replicas      int                   `json:"replicas"`
+	Fields        map[string]FieldStats `json:"fields"`
+	ShockAngleDeg ScalarStats           `json:"shock_angle_deg"`
+	Collisions    ScalarStats           `json:"collisions"`
+	NFlow         ScalarStats           `json:"nflow"`
 }
 
 // welford is the textbook single-pass mean/M2 accumulator. Merging
@@ -71,21 +72,39 @@ func (w *welford) scalar(dropped int) ScalarStats {
 }
 
 // aggregate fans in one scenario's replica results, merging in replica-
-// index order. results must be fully populated (the scheduler guarantees
-// it: the aggregate node depends on every replica node).
-func aggregate(scenario string, results []*ReplicaResult) *Aggregate {
-	agg := &Aggregate{Scenario: scenario, Replicas: len(results)}
+// index order (per quantity, so every field's statistics are bit-
+// identical for any pool size). results must be fully populated (the
+// scheduler guarantees it: the aggregate node depends on every replica
+// node).
+func aggregate(scenario string, quantities []string, results []*ReplicaResult) *Aggregate {
+	agg := &Aggregate{Scenario: scenario, Replicas: len(results), Fields: map[string]FieldStats{}}
 	if len(results) == 0 {
 		return agg
 	}
-	cells := len(results[0].Density)
-	field := make([]welford, cells)
+	for _, q := range quantities {
+		cells := len(results[0].Fields[q])
+		field := make([]welford, cells)
+		for _, r := range results {
+			col := r.Fields[q]
+			for c := 0; c < cells; c++ {
+				field[c].add(col[c])
+			}
+		}
+		fs := FieldStats{
+			Mean:     make([]float64, cells),
+			Variance: make([]float64, cells),
+			CI95:     make([]float64, cells),
+		}
+		for c := 0; c < cells; c++ {
+			fs.Mean[c] = field[c].mean
+			fs.Variance[c] = field[c].variance()
+			fs.CI95[c] = field[c].ci95()
+		}
+		agg.Fields[q] = fs
+	}
 	var angle, colls, nflow welford
 	angleDropped := 0
 	for _, r := range results {
-		for c := 0; c < cells; c++ {
-			field[c].add(r.Density[c])
-		}
 		if math.IsNaN(r.ShockAngleDeg) {
 			angleDropped++
 		} else {
@@ -93,16 +112,6 @@ func aggregate(scenario string, results []*ReplicaResult) *Aggregate {
 		}
 		colls.add(float64(r.Collisions))
 		nflow.add(float64(r.NFlow))
-	}
-	agg.Density = FieldStats{
-		Mean:     make([]float64, cells),
-		Variance: make([]float64, cells),
-		CI95:     make([]float64, cells),
-	}
-	for c := 0; c < cells; c++ {
-		agg.Density.Mean[c] = field[c].mean
-		agg.Density.Variance[c] = field[c].variance()
-		agg.Density.CI95[c] = field[c].ci95()
 	}
 	agg.ShockAngleDeg = angle.scalar(angleDropped)
 	agg.Collisions = colls.scalar(0)

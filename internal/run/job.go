@@ -14,27 +14,46 @@ import (
 	"dsmc/internal/ckpt"
 	"dsmc/internal/grid"
 	"dsmc/internal/kernel"
+	"dsmc/internal/molec"
 	"dsmc/internal/rng"
 	"dsmc/internal/sample"
 	"dsmc/internal/sim"
+	"dsmc/internal/sim3"
 )
 
-// Scenario is one sweep point lowered to the internal configuration: a
-// wind-tunnel config plus the storage precision to instantiate it at.
-// The Seed field of Sim is ignored — every job derives its own seed from
-// the spec's base seed (rng.JobSeed), so replicas are independent by
+// Scenario is one sweep point lowered to an internal configuration:
+// exactly one of the backend configs is set (2D wind tunnel or 3D shock
+// tube), plus the storage precision to instantiate it at. The Seed field
+// of the config is ignored — every job derives its own seed from the
+// spec's base seed (rng.JobSeed), so replicas are independent by
 // construction and a sweep is reproducible from (spec, base seed) alone.
 type Scenario struct {
 	Name    string
-	Sim     sim.Config
+	Sim     *sim.Config  // 2D wind tunnel
+	Sim3    *sim3.Config // 3D shock tube
 	Float32 bool
 }
 
+// validate reports scenario errors (run.Spec.Validate wraps them with
+// the scenario name).
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Sim != nil && sc.Sim3 != nil:
+		return errors.New("both Sim and Sim3 set")
+	case sc.Sim != nil:
+		return sc.Sim.Validate()
+	case sc.Sim3 != nil:
+		return sc.Sim3.Validate()
+	}
+	return errors.New("no backend config set")
+}
+
 // ReplicaResult is one finished replica's contribution to the
-// aggregation: the time-averaged density field, the fitted shock angle,
-// and the integer diagnostics.
+// aggregation: the requested time-averaged quantity fields, the fitted
+// shock angle (NaN for scenarios without a wedge), and the integer
+// diagnostics.
 type ReplicaResult struct {
-	Density       []float64
+	Fields        map[string][]float64
 	ShockAngleDeg float64
 	Collisions    int64
 	NFlow         int
@@ -46,34 +65,110 @@ type jobCkpt struct {
 	every int    // steps between checkpoints (> 0 when path is set)
 }
 
-// runReplica executes one replica of a scenario: warm to steady state,
-// then sample every step into an accumulator. With a checkpoint path the
-// job persists its progress every `every` steps and resumes exactly —
-// the restored run is bit-identical to an uninterrupted one, because the
-// checkpoint carries the full engine, domain and accumulator state and
-// the step sequence does not depend on chunk boundaries.
-func runReplica(ctx context.Context, sc Scenario, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
-	if sc.Float32 {
-		return runReplicaOf[float32](ctx, sc, seed, warm, sampleSteps, ck, progress)
-	}
-	return runReplicaOf[float64](ctx, sc, seed, warm, sampleSteps, ck, progress)
+// replicaSim is the slice of engine-backend surface one replica job
+// drives. Both precision instantiations of both backends implement it.
+type replicaSim interface {
+	Step()
+	SampleInto(acc *sample.Accumulator)
+	Collisions() int64
+	NFlow() int
+	CheckpointSections(w *ckpt.Writer)
+	RestoreSections(r *ckpt.Reader) error
 }
 
-func runReplicaOf[F kernel.Float](ctx context.Context, sc Scenario, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
-	cfg := sc.Sim
+// replicaJob is a constructed replica: the live simulation plus the
+// scenario-derived metadata the shared stepping loop and the checkpoint
+// codec need (shape, precision tag, normalisers, analysis hook).
+type replicaJob struct {
+	sim   replicaSim
+	prec  ckpt.Prec
+	cells int
+	acc   *sample.Accumulator
+	norms sample.Norms
+	// angle fits the scenario's validation scalar from the density
+	// field; NaN when the scenario has no oblique shock to fit.
+	angle func(density []float64) float64
+}
+
+// buildReplica constructs the scenario's simulation at the given seed.
+func buildReplica(sc Scenario, seed uint64) (*replicaJob, error) {
+	switch {
+	case sc.Sim != nil:
+		if sc.Float32 {
+			return buildReplica2D[float32](sc, seed)
+		}
+		return buildReplica2D[float64](sc, seed)
+	case sc.Sim3 != nil:
+		if sc.Float32 {
+			return buildReplica3D[float32](sc, seed)
+		}
+		return buildReplica3D[float64](sc, seed)
+	}
+	return nil, fmt.Errorf("scenario %q: no backend config set", sc.Name)
+}
+
+func buildReplica2D[F kernel.Float](sc Scenario, seed uint64) (*replicaJob, error) {
+	cfg := *sc.Sim
 	cfg.Seed = seed
 	s, err := sim.NewOf[F](cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 	g := grid.New(cfg.NX, cfg.NY)
-	acc := sample.NewAccumulator(g, s.Volumes(), cfg.NPerCell)
+	gamma := cfg.Free.Gamma
+	if gamma == 0 {
+		gamma = cfg.Model.Gamma()
+	}
+	return &replicaJob{
+		sim:   s,
+		prec:  ckpt.PrecOf[F](),
+		cells: g.Cells(),
+		acc:   sample.NewAccumulator(g, s.Volumes(), cfg.NPerCell),
+		norms: sample.Norms{Cm: cfg.Free.Cm, Gamma: gamma},
+		angle: func(density []float64) float64 { return shockAngleDeg(density, g, cfg) },
+	}, nil
+}
+
+func buildReplica3D[F kernel.Float](sc Scenario, seed uint64) (*replicaJob, error) {
+	cfg := *sc.Sim3
+	cfg.Seed = seed
+	s, err := sim3.NewOf[F](cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	model := cfg.Model
+	if model.Name == "" {
+		model = molec.Maxwell()
+	}
+	cells := sim3.Grid3{NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ}.Cells()
+	return &replicaJob{
+		sim:   s,
+		prec:  ckpt.PrecOf[F](),
+		cells: cells,
+		acc:   sample.NewAccumulatorCells(cells, nil, cfg.NPerCell),
+		norms: sample.Norms{Cm: cfg.Cm, Gamma: model.Gamma()},
+		angle: func([]float64) float64 { return math.NaN() },
+	}, nil
+}
+
+// runReplica executes one replica of a scenario: warm to steady state,
+// then sample every step into the one-pass moment accumulator, and
+// derive the requested quantity fields at the end. With a checkpoint
+// path the job persists its progress every `every` steps and resumes
+// exactly — the restored run is bit-identical to an uninterrupted one,
+// because the checkpoint carries the full engine, domain and accumulator
+// state and the step sequence does not depend on chunk boundaries.
+func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
+	job, err := buildReplica(sc, seed)
+	if err != nil {
+		return nil, err
+	}
 
 	done := 0 // steps completed, warm and sampling combined
 	total := warm + sampleSteps
 	fp := specFingerprint(sc, warm, sampleSteps)
 	if ck.path != "" {
-		restored, n, err := loadJobCheckpoint(ck.path, s, acc, seed, fp)
+		restored, n, err := job.loadCheckpoint(ck.path, seed, fp)
 		if err != nil {
 			return nil, err
 		}
@@ -94,14 +189,14 @@ func runReplicaOf[F kernel.Float](ctx context.Context, sc Scenario, seed uint64,
 			chunk = ck.every
 		}
 		for k := 0; k < chunk; k++ {
-			s.Step()
+			job.sim.Step()
 			if done+k+1 > warm {
-				s.SampleInto(acc)
+				job.sim.SampleInto(job.acc)
 			}
 		}
 		done += chunk
 		if ck.path != "" {
-			if err := saveJobCheckpoint(ck.path, s, acc, seed, fp, done); err != nil {
+			if err := job.saveCheckpoint(ck.path, seed, fp, done); err != nil {
 				return nil, err
 			}
 		}
@@ -111,33 +206,50 @@ func runReplicaOf[F kernel.Float](ctx context.Context, sc Scenario, seed uint64,
 	}
 
 	res := &ReplicaResult{
-		Density:    acc.Density(),
-		Collisions: s.Collisions(),
-		NFlow:      s.NFlow(),
+		Fields:     make(map[string][]float64, len(quantities)),
+		Collisions: job.sim.Collisions(),
+		NFlow:      job.sim.NFlow(),
 	}
-	res.ShockAngleDeg = shockAngleDeg(res.Density, g, cfg)
+	for _, q := range quantities {
+		field, err := job.acc.FieldOf(q, job.norms)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		res.Fields[q] = field
+	}
+	// The shock-angle fit runs on the density field; reuse the derived
+	// one when it was requested (the public layer always requests it).
+	density := res.Fields[sample.QDensity]
+	if density == nil {
+		d, err := job.acc.FieldOf(sample.QDensity, job.norms)
+		if err != nil {
+			return nil, err
+		}
+		density = d
+	}
+	res.ShockAngleDeg = job.angle(density)
 	return res, nil
 }
 
-// saveJobCheckpoint atomically writes the job state: progress counters,
+// saveCheckpoint atomically writes the job state: progress counters,
 // the full simulation, and the sampling accumulator. The write goes to a
 // temp file that is fsynced before the rename, so neither a process
 // crash mid-write nor a host crash around the rename can replace a good
 // checkpoint with a torn one — and if the filesystem still delivers a
-// corrupt file, loadJobCheckpoint detects it by checksum and falls back
+// corrupt file, loadCheckpoint detects it by checksum and falls back
 // to a fresh (bit-identical) run rather than wedging the sweep.
-func saveJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample.Accumulator, seed, fp uint64, done int) error {
+func (job *replicaJob) saveCheckpoint(path string, seed, fp uint64, done int) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	w := ckpt.NewWriter(f, ckpt.KindJob, ckpt.PrecOf[F](), len(s.Volumes()))
+	w := ckpt.NewWriter(f, ckpt.KindJob, job.prec, job.cells)
 	w.U64(seed)
 	w.U64(fp)
 	w.U64(uint64(done))
-	s.CheckpointSections(w)
-	ckpt.WriteAccumulator(w, acc)
+	job.sim.CheckpointSections(w)
+	ckpt.WriteAccumulator(w, job.acc)
 	err = w.Close()
 	if err == nil {
 		err = f.Sync()
@@ -152,7 +264,7 @@ func saveJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample
 	return os.Rename(tmp, path)
 }
 
-// loadJobCheckpoint restores a job checkpoint if one exists, returning
+// loadCheckpoint restores a job checkpoint if one exists, returning
 // whether a restore happened and the completed step count.
 //
 // Failure policy: a checkpoint that is merely corrupt (torn write,
@@ -165,7 +277,7 @@ func saveJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample
 // is a hard error, because silently ignoring it would mask the
 // misconfiguration (or worse, serve the old spec's state as the new
 // spec's result).
-func loadJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample.Accumulator, seed, fp uint64) (bool, int, error) {
+func (job *replicaJob) loadCheckpoint(path string, seed, fp uint64) (bool, int, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return false, 0, nil
@@ -181,10 +293,18 @@ func loadJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample
 		return false, 0, nil
 	}
 	r, err := ckpt.NewReader(bytes.NewReader(data))
+	if errors.Is(err, ckpt.ErrVersion) {
+		// A checkpoint from a different format version (pre-upgrade
+		// leftovers in a resumed sweep directory): recomputing from
+		// scratch is bit-identical to having resumed, so treat it like
+		// corruption rather than wedging the sweep.
+		os.Remove(path)
+		return false, 0, nil
+	}
 	if err != nil {
 		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
 	}
-	if err := ckpt.CheckShape(r, ckpt.KindJob, ckpt.PrecOf[F](), len(s.Volumes())); err != nil {
+	if err := ckpt.CheckShape(r, ckpt.KindJob, job.prec, job.cells); err != nil {
 		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
 	}
 	ckSeed := r.U64()
@@ -199,10 +319,10 @@ func loadJobCheckpoint[F kernel.Float](path string, s *sim.SimOf[F], acc *sample
 	if ckFp != fp {
 		return false, 0, fmt.Errorf("job checkpoint %s: spec fingerprint %#x does not match %#x (step budget or physics parameters changed; use a fresh checkpoint directory)", path, ckFp, fp)
 	}
-	if err := s.RestoreSections(r); err != nil {
+	if err := job.sim.RestoreSections(r); err != nil {
 		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
 	}
-	if err := ckpt.ReadAccumulator(r, acc); err != nil {
+	if err := ckpt.ReadAccumulator(r, job.acc); err != nil {
 		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
 	}
 	if err := r.Close(); err != nil {
@@ -218,12 +338,14 @@ func jobCkptPath(dir string, scenarioIdx, replica int) string {
 }
 
 // specFingerprint hashes every job parameter that determines the job's
-// trajectory — step budget, grid, physics knobs, wall model, wedge,
-// molecular model, precision — so a checkpoint directory reused after
-// the spec changed is rejected instead of silently serving the old
-// spec's state as the new spec's result. (The seed is checked
-// separately; the pluggable Scheme override is not reachable through
-// the sweep API and is therefore not fingerprinted.)
+// trajectory — step budget, grid, physics knobs, wall model, wedges,
+// molecular model, precision, dimensionality — so a checkpoint directory
+// reused after the spec changed is rejected instead of silently serving
+// the old spec's state as the new spec's result. (The seed is checked
+// separately; requested quantities are deliberately not fingerprinted —
+// they are derived from the same accumulated moments and do not affect
+// the trajectory. The pluggable Scheme override is not reachable through
+// the sweep API and is therefore not fingerprinted either.)
 func specFingerprint(sc Scenario, warm, sampleSteps int) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -234,32 +356,56 @@ func specFingerprint(sc Scenario, warm, sampleSteps int) uint64 {
 	f := func(v float64) { word(math.Float64bits(v)) }
 	word(uint64(warm))
 	word(uint64(sampleSteps))
-	word(uint64(sc.Sim.NX))
-	word(uint64(sc.Sim.NY))
-	f(sc.Sim.NPerCell)
-	f(sc.Sim.Free.Mach)
-	f(sc.Sim.Free.Cm)
-	f(sc.Sim.Free.Lambda)
-	f(sc.Sim.Free.Gamma)
-	f(sc.Sim.PlungerTrigger)
-	f(sc.Sim.ZVib)
-	word(uint64(sc.Sim.Wall.Model))
-	f(sc.Sim.Wall.WallCm)
-	word(uint64(sc.Sim.ReservoirCapacity))
-	if sc.Sim.Wedge != nil {
-		word(1)
-		f(sc.Sim.Wedge.LeadX)
-		f(sc.Sim.Wedge.Base)
-		f(sc.Sim.Wedge.Angle)
-	} else {
-		word(0)
-	}
 	if sc.Float32 {
 		word(1)
 	} else {
 		word(0)
 	}
-	h.Write([]byte(sc.Sim.Model.Name))
+	switch {
+	case sc.Sim != nil:
+		cfg := sc.Sim
+		word(2) // dimensionality tag
+		word(uint64(cfg.NX))
+		word(uint64(cfg.NY))
+		f(cfg.NPerCell)
+		f(cfg.Free.Mach)
+		f(cfg.Free.Cm)
+		f(cfg.Free.Lambda)
+		f(cfg.Free.Gamma)
+		f(cfg.PlungerTrigger)
+		f(cfg.ZVib)
+		word(uint64(cfg.Wall.Model))
+		f(cfg.Wall.WallCm)
+		word(uint64(cfg.ReservoirCapacity))
+		if cfg.Wedge != nil {
+			word(1)
+			f(cfg.Wedge.LeadX)
+			f(cfg.Wedge.Base)
+			f(cfg.Wedge.Angle)
+		} else {
+			word(0)
+		}
+		if cfg.Wedge2 != nil {
+			word(1)
+			f(cfg.Wedge2.LeadX)
+			f(cfg.Wedge2.Base)
+			f(cfg.Wedge2.Angle)
+		} else {
+			word(0)
+		}
+		h.Write([]byte(cfg.Model.Name))
+	case sc.Sim3 != nil:
+		cfg := sc.Sim3
+		word(3) // dimensionality tag
+		word(uint64(cfg.NX))
+		word(uint64(cfg.NY))
+		word(uint64(cfg.NZ))
+		f(cfg.NPerCell)
+		f(cfg.Cm)
+		f(cfg.Lambda)
+		f(cfg.PistonSpeed)
+		h.Write([]byte(cfg.Model.Name))
+	}
 	return h.Sum64()
 }
 

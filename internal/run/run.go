@@ -24,6 +24,8 @@ import (
 	"os"
 	"runtime"
 	"sync"
+
+	"dsmc/internal/sample"
 )
 
 // Spec describes an ensemble or sweep: one or more scenarios, each run
@@ -33,6 +35,10 @@ type Spec struct {
 	Name string
 	// Scenarios are the sweep points (one scenario = a plain ensemble).
 	Scenarios []Scenario
+	// Quantities are the sampled quantity slugs (sample.Q*) each replica
+	// derives from its one-pass moment accumulation and each aggregate
+	// carries per-cell statistics for; empty defaults to density alone.
+	Quantities []string
 	// Replicas is the number of independent replicas per scenario.
 	Replicas int
 	// WarmSteps runs before sampling starts; SampleSteps are accumulated.
@@ -66,6 +72,11 @@ func (sp *Spec) Validate() error {
 	if sp.WarmSteps < 0 {
 		return fmt.Errorf("run: WarmSteps must not be negative")
 	}
+	for _, q := range sp.Quantities {
+		if !sample.KnownQuantity(q) {
+			return fmt.Errorf("run: unknown quantity %q", q)
+		}
+	}
 	seen := make(map[string]bool, len(sp.Scenarios))
 	for i, sc := range sp.Scenarios {
 		if sc.Name == "" {
@@ -75,11 +86,19 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("run: duplicate scenario name %q", sc.Name)
 		}
 		seen[sc.Name] = true
-		if err := sc.Sim.Validate(); err != nil {
+		if err := sc.validate(); err != nil {
 			return fmt.Errorf("run: scenario %q: %w", sc.Name, err)
 		}
 	}
 	return nil
+}
+
+// quantities resolves the spec's quantity list (default: density).
+func (sp *Spec) quantities() []string {
+	if len(sp.Quantities) == 0 {
+		return []string{sample.QDensity}
+	}
+	return sp.Quantities
 }
 
 // Result is a completed sweep: one aggregate per scenario, in scenario
@@ -171,7 +190,7 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 						ck = jobCkpt{path: jobCkptPath(sp.CheckpointDir, si, r), every: ckEvery}
 					}
 					seed := jobSeed(sp.BaseSeed, si, r)
-					res, err := runReplica(ctx, sc, seed, sp.WarmSteps, sp.SampleSteps, ck,
+					res, err := runReplica(ctx, sc, sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck,
 						func(done, total int) {
 							emit(Event{Type: EventJobProgress, Job: id, Scenario: sc.Name,
 								Replica: r, StepsDone: done, StepsTotal: total})
@@ -188,7 +207,7 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 			ID:   sc.Name + "/aggregate",
 			Deps: deps,
 			Run: func(ctx context.Context) error {
-				aggs[si] = aggregate(sc.Name, results[si])
+				aggs[si] = aggregate(sc.Name, sp.quantities(), results[si])
 				emit(Event{Type: EventAggregateDone, Job: sc.Name + "/aggregate", Scenario: sc.Name})
 				return nil
 			},

@@ -2,7 +2,9 @@ package run
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -22,7 +24,7 @@ func testScenario(name string, lambda float64, f32 bool) Scenario {
 	cfg.NPerCell = 4
 	cfg.Free.Lambda = lambda
 	cfg.Workers = 1
-	return Scenario{Name: name, Sim: cfg, Float32: f32}
+	return Scenario{Name: name, Sim: &cfg, Float32: f32}
 }
 
 func testSpec() Spec {
@@ -60,11 +62,18 @@ func colsEqual(a, b []float64) bool {
 }
 
 func aggEqual(a, b *Aggregate) bool {
-	return a.Scenario == b.Scenario && a.Replicas == b.Replicas &&
-		colsEqual(a.Density.Mean, b.Density.Mean) &&
-		colsEqual(a.Density.Variance, b.Density.Variance) &&
-		colsEqual(a.Density.CI95, b.Density.CI95) &&
-		scalarEqual(a.ShockAngleDeg, b.ShockAngleDeg) &&
+	if a.Scenario != b.Scenario || a.Replicas != b.Replicas ||
+		len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for q, fa := range a.Fields {
+		fb, ok := b.Fields[q]
+		if !ok || !colsEqual(fa.Mean, fb.Mean) ||
+			!colsEqual(fa.Variance, fb.Variance) || !colsEqual(fa.CI95, fb.CI95) {
+			return false
+		}
+	}
+	return scalarEqual(a.ShockAngleDeg, b.ShockAngleDeg) &&
 		scalarEqual(a.Collisions, b.Collisions) &&
 		scalarEqual(a.NFlow, b.NFlow)
 }
@@ -114,7 +123,10 @@ func TestCompletionOrderIndependence(t *testing.T) {
 						time.Sleep(time.Duration(n-r) * 5 * time.Millisecond)
 					}
 					results[r] = &ReplicaResult{
-						Density:       []float64{float64(r), float64(r) * 0.5},
+						Fields: map[string][]float64{
+							"density":     {float64(r), float64(r) * 0.5},
+							"temperature": {1 + float64(r), 2 * float64(r)},
+						},
 						ShockAngleDeg: 40 + float64(r),
 						Collisions:    int64(100 * r),
 						NFlow:         1000 + r,
@@ -126,7 +138,7 @@ func TestCompletionOrderIndependence(t *testing.T) {
 		nodes = append(nodes, Node{
 			ID: "agg", Deps: deps,
 			Run: func(ctx context.Context) error {
-				agg = aggregate("s", results)
+				agg = aggregate("s", []string{"density", "temperature"}, results)
 				return nil
 			},
 		})
@@ -380,6 +392,51 @@ func TestCorruptCheckpointFallsBackToFreshRun(t *testing.T) {
 	}
 }
 
+// TestStaleVersionCheckpointFallsBackToFreshRun: a structurally intact
+// job checkpoint from a different format version (pre-upgrade leftovers)
+// is discarded and recomputed fresh — bit-identically — instead of
+// failing the sweep.
+func TestStaleVersionCheckpointFallsBackToFreshRun(t *testing.T) {
+	sp := testSpec()
+	sp.Scenarios = sp.Scenarios[:1]
+	sp.Replicas = 1
+
+	straight, err := Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sp.CheckpointDir = dir
+	sp.CheckpointEvery = 4
+	if _, err := Run(context.Background(), sp, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header's version word to a foreign value and re-seal
+	// the checksum trailer, simulating a checkpoint from another format
+	// version that is otherwise intact.
+	path := jobCkptPath(dir, 0, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(raw[8:16], 999)
+	h := fnv.New64a()
+	h.Write(raw[:len(raw)-8])
+	binary.LittleEndian.PutUint64(raw[len(raw)-8:], h.Sum64())
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatalf("run over stale-version checkpoint failed instead of recomputing: %v", err)
+	}
+	if !aggEqual(straight.Aggregates[0], res.Aggregates[0]) {
+		t.Error("recomputation after version mismatch drifted from the straight run")
+	}
+}
+
 // TestCheckpointSeedMismatchRejected: a checkpoint directory reused by a
 // different base seed is rejected rather than silently blended.
 func TestCheckpointSeedMismatchRejected(t *testing.T) {
@@ -427,6 +484,10 @@ func TestCheckpointSpecChangeRejected(t *testing.T) {
 		t.Run(m.name, func(t *testing.T) {
 			sp := base
 			sp.Scenarios = append([]Scenario(nil), base.Scenarios...)
+			// Deep-copy the config so a mutation cannot leak into the
+			// base spec of the next subtest through the shared pointer.
+			cfg := *base.Scenarios[0].Sim
+			sp.Scenarios[0].Sim = &cfg
 			m.mutate(&sp)
 			if _, err := Run(context.Background(), sp, nil); err == nil {
 				t.Error("changed spec resumed over the old checkpoint directory")

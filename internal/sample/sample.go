@@ -7,6 +7,7 @@
 package sample
 
 import (
+	"fmt"
 	"math"
 
 	"dsmc/internal/grid"
@@ -15,30 +16,48 @@ import (
 	"dsmc/internal/phys"
 )
 
-// Accumulator collects time-averaged per-cell moments.
+// Accumulator collects time-averaged per-cell moments. It is shape-
+// agnostic: the cell count is all it knows about the grid, so the same
+// accumulator serves the 2D wind tunnel and the 3D shock tube (and the
+// per-plane layout of any future domain).
 type Accumulator struct {
-	Grid  grid.Grid
-	Vols  []float64
-	NInf  float64 // freestream particles per unit volume (density normaliser)
+	Cells int
+	Vols  []float64 // per-cell gas volumes; nil means unit volumes
+	NInf  float64   // freestream particles per unit volume (density normaliser)
 	Steps int
 
 	count []float64 // Σ particles
 	momX  []float64 // Σ u
 	momY  []float64 // Σ v
+	momZ  []float64 // Σ w
 	enrg  []float64 // Σ (u²+v²+w²+r1²+r2²)
 }
 
-// NewAccumulator creates an accumulator over the given grid; vols are the
-// per-cell gas volumes and nInf the freestream number density.
+// NewAccumulator creates an accumulator over the given 2D grid; vols are
+// the per-cell gas volumes and nInf the freestream number density.
 func NewAccumulator(g grid.Grid, vols []float64, nInf float64) *Accumulator {
-	n := g.Cells()
+	return NewAccumulatorCells(g.Cells(), vols, nInf)
+}
+
+// NewAccumulatorCells creates an accumulator over `cells` cells of any
+// dimensionality; vols may be nil for unit cell volumes everywhere.
+func NewAccumulatorCells(cells int, vols []float64, nInf float64) *Accumulator {
 	return &Accumulator{
-		Grid: g, Vols: vols, NInf: nInf,
-		count: make([]float64, n),
-		momX:  make([]float64, n),
-		momY:  make([]float64, n),
-		enrg:  make([]float64, n),
+		Cells: cells, Vols: vols, NInf: nInf,
+		count: make([]float64, cells),
+		momX:  make([]float64, cells),
+		momY:  make([]float64, cells),
+		momZ:  make([]float64, cells),
+		enrg:  make([]float64, cells),
 	}
+}
+
+// vol returns the gas volume of cell c (unit when no volume table).
+func (a *Accumulator) vol(c int) float64 {
+	if a.Vols == nil {
+		return 1
+	}
+	return a.Vols[c]
 }
 
 // addParticle accumulates the moments of particle i into cell c. The
@@ -50,6 +69,7 @@ func addParticle[F kernel.Float](a *Accumulator, st *particle.Store[F], c int32,
 	a.count[c]++
 	a.momX[c] += u
 	a.momY[c] += v
+	a.momZ[c] += w
 	a.enrg[c] += u*u + v*v + w*w + r1*r1 + r2*r2
 }
 
@@ -81,12 +101,12 @@ func AddFlowCellMajor[F kernel.Float](a *Accumulator, st *particle.Store[F], cel
 	a.Steps++
 }
 
-// Raw exposes the live moment columns (Σcount, Σu, Σv, Σenergy) for
+// Raw exposes the live moment columns (Σcount, Σu, Σv, Σw, Σenergy) for
 // checkpointing: a writer streams them out, a reader copies a
 // checkpointed snapshot back in. The slices alias the accumulator's
 // storage — treat them as owned by the accumulator.
-func (a *Accumulator) Raw() (count, momX, momY, enrg []float64) {
-	return a.count, a.momX, a.momY, a.enrg
+func (a *Accumulator) Raw() (count, momX, momY, momZ, enrg []float64) {
+	return a.count, a.momX, a.momY, a.momZ, a.enrg
 }
 
 // AddCounts accumulates a per-cell count snapshot only (density sampling
@@ -108,15 +128,16 @@ func (a *Accumulator) Density() []float64 {
 		return out
 	}
 	for c := range out {
-		if a.Vols[c] <= 0 {
+		if a.vol(c) <= 0 {
 			continue
 		}
-		out[c] = a.count[c] / (float64(a.Steps) * a.Vols[c] * a.NInf)
+		out[c] = a.count[c] / (float64(a.Steps) * a.vol(c) * a.NInf)
 	}
 	return out
 }
 
-// Velocity returns the time-averaged mean velocity components per cell.
+// Velocity returns the time-averaged mean in-plane velocity components
+// per cell (unnormalised, cells/step).
 func (a *Accumulator) Velocity() (ux, uy []float64) {
 	n := len(a.count)
 	ux = make([]float64, n)
@@ -130,6 +151,21 @@ func (a *Accumulator) Velocity() (ux, uy []float64) {
 	return ux, uy
 }
 
+// thermal returns cell c's mean thermal (peculiar) energy per degree of
+// freedom: the mean square 5-component velocity minus the square of the
+// mean bulk velocity, over 5 dof. Negative rounding residue clamps to 0.
+func (a *Accumulator) thermal(c int) float64 {
+	ux := a.momX[c] / a.count[c]
+	uy := a.momY[c] / a.count[c]
+	uz := a.momZ[c] / a.count[c]
+	meanSq := a.enrg[c] / a.count[c]
+	therm := meanSq - ux*ux - uy*uy - uz*uz
+	if therm < 0 {
+		therm = 0
+	}
+	return therm / 5
+}
+
 // Temperature returns a per-cell temperature proxy: the mean thermal
 // (peculiar) energy per degree of freedom, in units of cm∞²/2 when
 // normalised by the caller. Cells without samples return 0.
@@ -140,15 +176,99 @@ func (a *Accumulator) Temperature() []float64 {
 		if a.count[c] <= 0 {
 			continue
 		}
-		ux := a.momX[c] / a.count[c]
-		uy := a.momY[c] / a.count[c]
-		// Mean square velocity minus mean velocity square, over 5 dof.
-		meanSq := a.enrg[c] / a.count[c]
-		therm := meanSq - ux*ux - uy*uy
-		if therm < 0 {
-			therm = 0
+		out[c] = a.thermal(c)
+	}
+	return out
+}
+
+// Quantity slugs — the shared vocabulary between the public sampling
+// API, the orchestration layer, and the job server. Every quantity is
+// derived from the same one-pass moment accumulation.
+const (
+	QDensity     = "density"     // ρ/ρ∞
+	QVelocityX   = "velocity-x"  // mean u / cm∞
+	QVelocityY   = "velocity-y"  // mean v / cm∞
+	QVelocityZ   = "velocity-z"  // mean w / cm∞
+	QTemperature = "temperature" // T/T∞ (thermal energy per dof over cm∞²/2)
+	QMach        = "mach"        // local bulk speed over local sound speed
+)
+
+// Quantities lists every derivable quantity slug (stable order).
+func Quantities() []string {
+	return []string{QDensity, QVelocityX, QVelocityY, QVelocityZ, QTemperature, QMach}
+}
+
+// KnownQuantity reports whether q is a derivable quantity slug.
+func KnownQuantity(q string) bool {
+	for _, k := range Quantities() {
+		if k == q {
+			return true
 		}
-		out[c] = therm / 5
+	}
+	return false
+}
+
+// Norms carries the freestream normalisers the derived quantities are
+// reported in: velocities in units of the freestream most-probable
+// speed Cm, temperature in units of the freestream temperature proxy
+// Cm²/2, and the local Mach number via the ratio of specific heats.
+type Norms struct {
+	Cm    float64
+	Gamma float64
+}
+
+// FieldOf derives one normalised quantity field from the accumulated
+// moments. Cells without samples (or without gas volume, for density)
+// read 0. The derivation is pure arithmetic over the deterministic
+// moment sums, so every quantity inherits the accumulation's worker-
+// count bit-identity.
+func (a *Accumulator) FieldOf(q string, n Norms) ([]float64, error) {
+	switch q {
+	case QDensity:
+		return a.Density(), nil
+	case QVelocityX:
+		return a.meanOver(a.momX, n.Cm), nil
+	case QVelocityY:
+		return a.meanOver(a.momY, n.Cm), nil
+	case QVelocityZ:
+		return a.meanOver(a.momZ, n.Cm), nil
+	case QTemperature:
+		tInf := n.Cm * n.Cm / 2
+		out := make([]float64, len(a.count))
+		for c := range out {
+			if a.count[c] > 0 {
+				out[c] = a.thermal(c) / tInf
+			}
+		}
+		return out, nil
+	case QMach:
+		out := make([]float64, len(a.count))
+		for c := range out {
+			if a.count[c] <= 0 {
+				continue
+			}
+			ux := a.momX[c] / a.count[c]
+			uy := a.momY[c] / a.count[c]
+			uz := a.momZ[c] / a.count[c]
+			t := a.thermal(c)
+			if t <= 0 {
+				continue
+			}
+			// Sound speed a² = γ·(kT/m), with kT/m = the thermal proxy.
+			out[c] = math.Sqrt((ux*ux + uy*uy + uz*uz) / (n.Gamma * t))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sample: unknown quantity %q", q)
+}
+
+// meanOver returns mom/count normalised by norm (0 where no samples).
+func (a *Accumulator) meanOver(mom []float64, norm float64) []float64 {
+	out := make([]float64, len(a.count))
+	for c := range out {
+		if a.count[c] > 0 {
+			out[c] = mom[c] / a.count[c] / norm
+		}
 	}
 	return out
 }

@@ -43,6 +43,9 @@ type Config struct {
 	NX, NY int
 	// Wedge is the body; nil simulates an empty tunnel.
 	Wedge *geom.Wedge
+	// Wedge2 is an optional second body downstream of (and disjoint
+	// from) Wedge — the double-wedge scenario. Requires Wedge.
+	Wedge2 *geom.Wedge
 	// Free is the freestream state (Mach, thermal speed, mean free path).
 	Free phys.Freestream
 	// Model is the molecular model (default Maxwell molecules).
@@ -118,6 +121,17 @@ func (c *Config) Validate() error {
 			return errors.New("sim: wedge does not fit in the tunnel")
 		}
 	}
+	if c.Wedge2 != nil {
+		if c.Wedge == nil {
+			return errors.New("sim: Wedge2 requires Wedge")
+		}
+		if c.Wedge2.LeadX < 0 || c.Wedge2.TrailX() > float64(c.NX) || c.Wedge2.Height() >= float64(c.NY) {
+			return errors.New("sim: second wedge does not fit in the tunnel")
+		}
+		if c.Wedge2.LeadX < c.Wedge.TrailX() && c.Wedge.LeadX < c.Wedge2.TrailX() {
+			return errors.New("sim: wedges overlap; their base intervals must be disjoint")
+		}
+	}
 	if err := c.Free.ValidateTimeStep(); err != nil {
 		return err
 	}
@@ -162,7 +176,7 @@ func NewOf[F kernel.Float](cfg Config) (*SimOf[F], error) {
 		return nil, err
 	}
 	g := grid.New(cfg.NX, cfg.NY)
-	vols := g.Volumes(cfg.Wedge)
+	vols := g.Volumes(cfg.Wedge, cfg.Wedge2)
 	var freeVol float64
 	for _, v := range vols {
 		freeVol += v
@@ -177,7 +191,7 @@ func NewOf[F kernel.Float](cfg Config) (*SimOf[F], error) {
 	pool := par.New(cfg.Workers)
 	sigma := cfg.Free.ComponentSigma()
 	dom := &wedgeDomain[F]{
-		tun:      geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge},
+		tun:      geom.Tunnel{W: float64(cfg.NX), H: float64(cfg.NY), Wedge: cfg.Wedge, Wedge2: cfg.Wedge2},
 		wall:     cfg.Wall,
 		uInf:     cfg.Free.Velocity(),
 		trigger:  cfg.PlungerTrigger,
@@ -414,18 +428,13 @@ func (d *wedgeDomain[F]) reflectDiffuse(st *particle.Store[F], i int) {
 		p := geom.Vec2{X: float64(st.X[i]), Y: float64(st.Y[i])}
 		v := geom.Vec2{X: float64(st.U[i]), Y: float64(st.V[i])}
 		var face geom.Face
-		switch {
-		case p.Y < 0:
+		if p.Y < 0 {
 			face = geom.Face{P: geom.Vec2{X: 0, Y: 0}, N: geom.Vec2{X: 0, Y: 1}}
-		case p.Y > d.tun.H:
+		} else if p.Y > d.tun.H {
 			face = geom.Face{P: geom.Vec2{X: 0, Y: d.tun.H}, N: geom.Vec2{X: 0, Y: -1}}
-		case d.tun.Wedge != nil && d.tun.Wedge.Contains(p):
-			faces := d.tun.Wedge.Faces()
-			face = faces[0]
-			if faces[1].Depth(p) < faces[0].Depth(p) {
-				face = faces[1]
-			}
-		default:
+		} else if wg := d.tun.ContainingWedge(p); wg != nil {
+			face = wg.NearestFace(p)
+		} else {
 			return
 		}
 		p = face.MirrorPosition(p)

@@ -19,6 +19,7 @@ package sim3
 import (
 	"errors"
 	"math"
+	"time"
 
 	"dsmc/internal/collide"
 	"dsmc/internal/engine"
@@ -28,6 +29,7 @@ import (
 	"dsmc/internal/particle"
 	"dsmc/internal/phys"
 	"dsmc/internal/rng"
+	"dsmc/internal/sample"
 )
 
 // Grid3 is an NX×NY×NZ arrangement of unit cube cells.
@@ -199,6 +201,25 @@ func NewOf[F kernel.Float](cfg Config) (*SimOf[F], error) {
 
 // N returns the particle count.
 func (s *SimOf[F]) N() int { return s.eng.Store().Len() }
+
+// NFlow returns the particle count — the whole tube is "the flow"; the
+// name matches the 2D backend so the public layer can treat both engine
+// backends uniformly.
+func (s *SimOf[F]) NFlow() int { return s.N() }
+
+// NReservoir returns 0: the shock tube is closed and banks no particles.
+func (s *SimOf[F]) NReservoir() int { return 0 }
+
+// Grid returns the box grid.
+func (s *SimOf[F]) Grid() Grid3 { return s.grid }
+
+// PhaseTimes returns cumulative wall time per sub-step.
+func (s *SimOf[F]) PhaseTimes() map[string]time.Duration { return s.eng.PhaseTimes() }
+
+// SampleInto accumulates the current snapshot into acc (which must cover
+// the box's cell count), sharded over cell ranges on the simulation's
+// worker pool — same bit-identity contract as the 2D backend.
+func (s *SimOf[F]) SampleInto(acc *sample.Accumulator) { s.eng.SampleInto(acc) }
 
 // Store exposes the particle store for diagnostics. The double-buffer
 // swap makes the pointer alternate between two buffers, so re-fetch it

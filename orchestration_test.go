@@ -219,3 +219,140 @@ func TestSweepRejectsBadPoints(t *testing.T) {
 }
 
 func f64(v float64) *float64 { return &v }
+func iptr(v int) *int        { return &v }
+
+// TestSweepGridShapeOverride: sweep points may override the grid shape;
+// each point's aggregate carries its own field shape for every sampled
+// quantity, and the whole sweep stays bit-identical across pool sizes.
+func TestSweepGridShapeOverride(t *testing.T) {
+	spec := dsmc.SweepSpec{
+		Name:       "grid-sweep",
+		Base:       smallPublicConfig(),
+		Quantities: []dsmc.Quantity{dsmc.Density, dsmc.Temperature},
+		Points: []dsmc.SweepPoint{
+			{Name: "base-grid"},
+			{Name: "coarse", GridNX: iptr(40), GridNY: iptr(20)},
+		},
+		Replicas:    2,
+		WarmSteps:   6,
+		SampleSteps: 6,
+	}
+	var results [2]*dsmc.SweepResult
+	for i, pool := range []int{1, 4} {
+		spec.Pool = pool
+		res, err := dsmc.RunSweep(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	res := results[0]
+	wantShapes := [][2]int{{48, 24}, {40, 20}}
+	for p, want := range wantShapes {
+		for _, q := range []dsmc.Quantity{dsmc.Density, dsmc.Temperature} {
+			fs, ok := res.Points[p].Fields[q]
+			if !ok {
+				t.Fatalf("point %d missing quantity %q", p, q)
+			}
+			if fs.NX != want[0] || fs.NY != want[1] || len(fs.Mean) != want[0]*want[1] {
+				t.Errorf("point %d %s shape %dx%d (%d cells), want %dx%d",
+					p, q, fs.NX, fs.NY, len(fs.Mean), want[0], want[1])
+			}
+		}
+		f, err := res.Points[p].FieldFor(dsmc.Temperature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NX != want[0] || f.NY != want[1] {
+			t.Errorf("point %d mean field shape %dx%d", p, f.NX, f.NY)
+		}
+	}
+	for p := range res.Points {
+		for q, fa := range res.Points[p].Fields {
+			fb := results[1].Points[p].Fields[q]
+			for c := range fa.Mean {
+				if math.Float64bits(fa.Mean[c]) != math.Float64bits(fb.Mean[c]) {
+					t.Fatalf("point %d %s differs between pool sizes at cell %d", p, q, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSweep3DBase: a sweep whose base is the 3D shock tube scenario runs
+// end to end, with per-point grid and piston overrides and 3D field
+// shapes in the aggregate.
+func TestSweep3DBase(t *testing.T) {
+	ss, err := dsmc.NewScenarioSpec(dsmc.ShockTube3D{
+		GridNX: 32, GridNY: 4, GridNZ: 4,
+		ThermalSpeed: 0.125, MeanFreePath: 0.5, PistonSpeed: 0.131,
+		ParticlesPerCell: 4, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dsmc.RunSweep(context.Background(), dsmc.SweepSpec{
+		Name:       "tube-sweep",
+		Scenario:   ss,
+		Quantities: []dsmc.Quantity{dsmc.Density, dsmc.VelocityX, dsmc.Temperature},
+		Points: []dsmc.SweepPoint{
+			{Name: "short"},
+			{Name: "long", GridNX: iptr(48)},
+			{Name: "fast", PistonSpeed: f64(0.2)},
+		},
+		Replicas:    2,
+		WarmSteps:   6,
+		SampleSteps: 6,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	wantNX := []int{32, 48, 32}
+	for p := range res.Points {
+		if res.Points[p].Kind != dsmc.KindShockTube3D {
+			t.Errorf("point %d kind %q", p, res.Points[p].Kind)
+		}
+		fs := res.Points[p].Fields[dsmc.VelocityX]
+		if fs.NX != wantNX[p] || fs.NY != 4 || fs.NZ != 4 || len(fs.Mean) != wantNX[p]*16 {
+			t.Errorf("point %d velocity-x shape %dx%dx%d (%d cells)",
+				p, fs.NX, fs.NY, fs.NZ, len(fs.Mean))
+		}
+		// No wedge, no shock-angle fit: every replica must be dropped.
+		if res.Points[p].ShockAngleDeg.N != 0 || res.Points[p].ShockAngleDeg.Dropped != 2 {
+			t.Errorf("point %d shock-angle stats %+v, want all dropped", p, res.Points[p].ShockAngleDeg)
+		}
+	}
+	// A wedge-angle override on a tube is a validation error.
+	_, err = dsmc.RunSweep(context.Background(), dsmc.SweepSpec{
+		Scenario:    ss,
+		Points:      []dsmc.SweepPoint{{Name: "bad", WedgeAngleDeg: f64(25)}},
+		Replicas:    1,
+		WarmSteps:   1,
+		SampleSteps: 1,
+	}, nil)
+	if err == nil {
+		t.Error("wedge-angle override on a shock tube was accepted")
+	}
+}
+
+// TestRunEnsembleScenario: RunEnsemble accepts first-class scenarios,
+// including 3D.
+func TestRunEnsembleScenario(t *testing.T) {
+	res, err := dsmc.RunEnsemble(context.Background(), dsmc.ShockTube3D{
+		GridNX: 24, GridNY: 4, GridNZ: 4,
+		ThermalSpeed: 0.125, PistonSpeed: 0.131,
+		ParticlesPerCell: 4, Seed: 3,
+	}, 2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 2 || res.NFlow.Mean <= 0 {
+		t.Errorf("ensemble result %+v", res)
+	}
+	if fs := res.Fields[dsmc.Density]; fs.NZ != 4 || len(fs.Mean) != 24*16 {
+		t.Errorf("density aggregate shape %dx%dx%d", fs.NX, fs.NY, fs.NZ)
+	}
+}
