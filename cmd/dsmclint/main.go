@@ -1,0 +1,86 @@
+// Command dsmclint runs the repo's custom analyzer suite over the given
+// package patterns (default ./...) and prints one diagnostic per
+// violated invariant as file:line:col: rule: message. It exits 0 on a
+// clean tree and 1 when any finding survives the //dsmclint:allow
+// waivers — CI runs it ahead of the test matrix so a determinism,
+// hot-path, or layering regression fails at the line that introduced it
+// instead of as a drifted golden hash.
+//
+// Usage:
+//
+//	go run ./cmd/dsmclint [-rules determinism,layering] [patterns...]
+//	go run ./cmd/dsmclint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dsmc/internal/lint"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the rules and the invariants they protect, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsmclint [-rules r1,r2] [-list] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.AllRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-15s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	if *rulesFlag != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []lint.Rule
+		for _, r := range rules {
+			if want[r.Name()] {
+				sel = append(sel, r)
+				delete(want, r.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "dsmclint: unknown rule %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		rules = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmclint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, rules)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		// Print paths relative to the invocation directory: shorter, and
+		// clickable in editors and CI logs either way.
+		file := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dsmclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -32,6 +32,7 @@ func (b BL) CollideCell(parts []collide.State5, vol float64, rule collide.Rule, 
 	for i := 0; i+1 < count; i += 2 {
 		g := collide.TransRelSpeed(&parts[i], &parts[i+1])
 		p := rule.Prob(count, vol, g)
+		//dsmclint:allow float-eq exact saturation sentinel: Prob clamps to 1, and == skips the draw without shifting the stream
 		if p == 1 || r.Float64() < p {
 			collide.CollideBL(&parts[i], &parts[i+1], z, r)
 			collisions++

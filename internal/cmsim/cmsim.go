@@ -497,6 +497,7 @@ func (s *Sim) selectPairs() {
 				p = 1
 			}
 		}
+		//dsmclint:allow float-eq exact saturation sentinel: p is clamped to 1 just above; == skips the lane draw without shifting it
 		if p == 1 || s.lanes[i].Float64() < p {
 			s.pairFirst[i] = true
 		}

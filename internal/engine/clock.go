@@ -1,0 +1,18 @@
+package engine
+
+import "time"
+
+// now and since are the engine's only wall-clock reads. They feed the
+// per-phase timing breakdown (PhaseTimes, the paper's table of move/
+// sort/select/collide cost) and nothing else: no particle state, no RNG
+// stream, and no sampled quantity ever depends on them, which is why
+// the two call sites below carry the determinism waivers for the whole
+// package. Any new clock read in the engine must either route through
+// here or justify its own waiver — the dsmclint determinism rule flags
+// it otherwise.
+
+//dsmclint:allow determinism diagnostics-only clock chokepoint; phase timings never feed physics (hoisted per-shard in PR 2)
+func now() time.Time { return time.Now() }
+
+//dsmclint:allow determinism diagnostics-only clock chokepoint; phase timings never feed physics (hoisted per-shard in PR 2)
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -293,13 +293,15 @@ func (e *Engine[F]) PhaseTimes() map[string]time.Duration {
 }
 
 // Step advances the simulation one time step through the four sub-steps.
+//
+//dsmc:hotpath
 func (e *Engine[F]) Step() {
-	t0 := time.Now()
+	t0 := now()
 	e.moveBoundaries()
-	t1 := time.Now()
+	t1 := now()
 	e.phaseTime[PhaseMove] += t1.Sub(t0)
 	e.sortByCell()
-	t2 := time.Now()
+	t2 := now()
 	e.phaseTime[PhaseSort] += t2.Sub(t1)
 	e.selectAndCollide()
 	e.dom.PostStep()
@@ -318,6 +320,8 @@ func (e *Engine[F]) Run(n int) {
 // cell-major layout of the latest sort must be current). The per-cell
 // accumulation order follows the store order, so the sums are
 // bit-identical for any worker count.
+//
+//dsmc:hotpath
 func (e *Engine[F]) SampleInto(acc *sample.Accumulator) {
 	sample.AddFlowCellMajor(acc, e.store, e.sorter.CellStart(), e.pool.For)
 }
@@ -329,6 +333,8 @@ func (e *Engine[F]) SampleInto(acc *sample.Accumulator) {
 // void refill after). The parallel pass never mutates the store's
 // membership — domains record exits per worker and remove them in
 // PostMove.
+//
+//dsmc:hotpath
 func (e *Engine[F]) moveBoundaries() {
 	e.dom.PreMove()
 	e.pool.ForIdx(e.store.Len(), e.fnMoveBound)
@@ -342,6 +348,7 @@ func (e *Engine[F]) moveBoundaries() {
 // are 32 KiB), large enough to amortize the per-tile call.
 const moveTile = 1024
 
+//dsmc:hotpath
 func (e *Engine[F]) moveBoundShard(w, lo, hi int) {
 	st := e.store
 	for tlo := lo; tlo < hi; tlo += moveTile {
@@ -366,6 +373,8 @@ func (e *Engine[F]) moveBoundShard(w, lo, hi int) {
 // the scaled-and-dithered key, candidates re-randomised every step).
 // After this, cell c's particles are the contiguous index range
 // cellStart[c]:cellStart[c+1] of the arrays.
+//
+//dsmc:hotpath
 func (e *Engine[F]) sortByCell() {
 	st := e.store
 	e.sorter.Plan(st.Len(), st.Cell, e.cellOfFn)
@@ -384,6 +393,8 @@ const smallCellPairs = kernel.Width
 // relSpeeds fills g[:npairs] with the relative speeds of the cell span
 // starting at lo: inline for small cells, the width-grouped kernel for
 // dense ones.
+//
+//dsmc:hotpath
 func relSpeeds[F kernel.Float](st *particle.Store[F], lo, npairs int, g []float64) {
 	if npairs >= smallCellPairs {
 		kernel.PairRelSpeeds(st.U, st.V, st.W, lo, npairs, g)
@@ -412,27 +423,29 @@ func (e *Engine[F]) vol(c int) float64 {
 // sharded over cell ranges: cells own disjoint contiguous index ranges
 // and each draws from its own streams, so any worker count produces
 // identical collisions.
+//
+//dsmc:hotpath
 func (e *Engine[F]) selectAndCollide() {
 	nc := e.cfg.Cells
 	if e.cfg.Scheme != nil {
 		// Pluggable scheme path (baselines): gather cells, delegate.
-		t0 := time.Now()
+		t0 := now()
 		e.pool.ForIdx(nc, e.fnScheme)
 		for _, c := range e.colls {
 			e.collisions += c
 		}
-		e.phaseTime[PhaseCollide] += time.Since(t0)
+		e.phaseTime[PhaseCollide] += since(t0)
 		return
 	}
 	if e.cfg.FusedSelect {
 		// Single-pass style: selection and collision interleave on one
 		// stream, so the timing cannot be split — book it all as collide.
-		t0 := time.Now()
+		t0 := now()
 		e.pool.ForIdx(nc, e.fnSelCol)
 		for _, c := range e.colls {
 			e.collisions += c
 		}
-		e.phaseTime[PhaseCollide] += time.Since(t0)
+		e.phaseTime[PhaseCollide] += since(t0)
 		return
 	}
 	// Split style: each shard runs selection over all its cells first and
@@ -458,11 +471,13 @@ func (e *Engine[F]) selectAndCollide() {
 // collide sub-loop then revisits only the accepted records. Selection and
 // collision draw from distinct per-cell stream domains so the two
 // sub-loops stay deterministic for any worker count.
+//
+//dsmc:hotpath
 func (e *Engine[F]) selColSplitShard(w, clo, chi int) {
 	st := e.store
 	cellStart := e.sorter.CellStart()
 	zvib := e.cfg.ZVib > 0
-	t0 := time.Now()
+	t0 := now()
 	picks := e.picksW[w][:0]
 	g := e.gW[w]
 	for c := clo; c < chi; c++ {
@@ -475,18 +490,20 @@ func (e *Engine[F]) selColSplitShard(w, clo, chi int) {
 		vol := e.vol(c)
 		npairs := cnt / 2
 		if len(g) < npairs {
+			//dsmclint:allow hotpath-alloc amortized grow: the span re-makes only when a cell outgrows it once, then is stable (AllocsPerRun pins the steady state)
 			g = make([]float64, npairs+npairs/2)
 			e.gW[w] = g
 		}
 		relSpeeds(st, lo, npairs, g)
 		for k := 0; k < npairs; k++ {
 			p := e.cfg.Rule.Prob(cnt, vol, g[k])
+			//dsmclint:allow float-eq exact saturation sentinel: Prob clamps to 1, and == skips the draw without shifting the stream
 			if p == 1 || r.Float64() < p {
 				picks = append(picks, pairPick{int32(lo + 2*k), int32(c)})
 			}
 		}
 	}
-	t1 := time.Now()
+	t1 := now()
 	var r rng.Stream
 	cur := int32(-1)
 	var coll int64
@@ -511,7 +528,7 @@ func (e *Engine[F]) selColSplitShard(w, clo, chi int) {
 	}
 	coll = int64(len(picks))
 	e.picksW[w] = picks
-	e.selW[w], e.colW[w] = t1.Sub(t0), time.Since(t1)
+	e.selW[w], e.colW[w] = t1.Sub(t0), since(t1)
 	e.colls[w] = coll
 }
 
@@ -521,6 +538,8 @@ func (e *Engine[F]) selColSplitShard(w, clo, chi int) {
 // speeds still come from the width-grouped kernel a block at a time —
 // the blocking consumes no randomness, so the draw sequence is
 // untouched.
+//
+//dsmc:hotpath
 func (e *Engine[F]) selColFusedShard(w, clo, chi int) {
 	st := e.store
 	cellStart := e.sorter.CellStart()
@@ -537,12 +556,14 @@ func (e *Engine[F]) selColFusedShard(w, clo, chi int) {
 		vol := e.vol(c)
 		npairs := cnt / 2
 		if len(g) < npairs {
+			//dsmclint:allow hotpath-alloc amortized grow: the span re-makes only when a cell outgrows it once, then is stable (AllocsPerRun pins the steady state)
 			g = make([]float64, npairs+npairs/2)
 			e.gW[w] = g
 		}
 		relSpeeds(st, lo, npairs, g)
 		for k := 0; k < npairs; k++ {
 			p := e.cfg.Rule.Prob(cnt, vol, g[k])
+			//dsmclint:allow float-eq exact saturation sentinel: Prob clamps to 1, and == skips the draw without shifting the stream
 			if p == 1 || r.Float64() < p {
 				a := lo + 2*k
 				if zvib {
@@ -561,6 +582,8 @@ func (e *Engine[F]) selColFusedShard(w, clo, chi int) {
 // collideVibPair draws the permutation and signs from r, performs the
 // exchange on pair (ia, ib), and relaxes the pair against its
 // vibrational reservoirs.
+//
+//dsmc:hotpath
 func (e *Engine[F]) collideVibPair(st *particle.Store[F], ia, ib int, r *rng.Stream) {
 	perm := rng.RandomPerm5(e.table, r)
 	va, vb := st.Vel(ia), st.Vel(ib)
@@ -573,6 +596,8 @@ func (e *Engine[F]) collideVibPair(st *particle.Store[F], ia, ib int, r *rng.Str
 // schemeShard is one worker's cell range of the pluggable-scheme path:
 // each cell span is copied contiguously into the worker's scratch buffer,
 // handed to the scheme, and written back.
+//
+//dsmc:hotpath
 func (e *Engine[F]) schemeShard(w, clo, chi int) {
 	st := e.store
 	cellStart := e.sorter.CellStart()
@@ -583,6 +608,7 @@ func (e *Engine[F]) schemeShard(w, clo, chi int) {
 			continue
 		}
 		if cap(e.scratchW[w]) < hi-lo {
+			//dsmclint:allow hotpath-alloc amortized grow: scheme scratch re-makes only when a cell outgrows it once, then is stable
 			e.scratchW[w] = make([]collide.State5, hi-lo)
 		}
 		cellParts := e.scratchW[w][:hi-lo]
@@ -619,6 +645,8 @@ func shardWall(concurrent bool, ds []time.Duration) time.Duration {
 // conserved exactly. The pair mean is untouched, so momentum is
 // conserved too. The exchange runs in float64 (the reservoirs round once
 // on store), so the float64 instantiation is bit-exact.
+//
+//dsmc:hotpath
 func (e *Engine[F]) vibExchange(st *particle.Store[F], va, vb *collide.State5, ia, ib int, r *rng.Stream) {
 	du := va[0] - vb[0]
 	dv := va[1] - vb[1]
@@ -629,6 +657,7 @@ func (e *Engine[F]) vibExchange(st *particle.Store[F], va, vb *collide.State5, i
 	}
 	eTrNew, ea, eb := collide.VibExchange(eTr, float64(st.Evib[ia]), float64(st.Evib[ib]), e.cfg.ZVib, r)
 	st.Evib[ia], st.Evib[ib] = F(ea), F(eb)
+	//dsmclint:allow float-eq exact no-op sentinel: VibExchange returns eTr unchanged (same bits) when no exchange happened
 	if eTrNew == eTr {
 		return
 	}

@@ -11,6 +11,8 @@ import (
 // about the unchanged pair mean), and scattered back to the storage
 // precision. The float64 instantiation is bit-identical to the
 // Vel/Collide/SetVel sequence of the pre-generic backends.
+//
+//dsmc:hotpath
 func ExchangePair[F Float](u, v, w, r1, r2 []F, ia, ib int, perm rng.Perm5, signs uint32) {
 	va := collide.State5{float64(u[ia]), float64(v[ia]), float64(w[ia]), float64(r1[ia]), float64(r2[ia])}
 	vb := collide.State5{float64(u[ib]), float64(v[ib]), float64(w[ib]), float64(r1[ib]), float64(r2[ib])}

@@ -5,6 +5,8 @@ package kernel
 // blocked Width lanes at a time; the per-element arithmetic is exactly
 // the scalar x += u, so the float64 instantiation is bit-identical to
 // the unblocked pass it replaces.
+//
+//dsmc:hotpath
 func Advance2[F Float](x, y, u, v []F) {
 	n := len(x)
 	_, _, _ = y[:n], u[:n], v[:n]
@@ -27,6 +29,8 @@ func Advance2[F Float](x, y, u, v []F) {
 
 // Advance3 is the 3D move pass: x += u, y += v, z += w, blocked Width
 // lanes at a time.
+//
+//dsmc:hotpath
 func Advance3[F Float](x, y, z, u, v, w []F) {
 	n := len(x)
 	_, _, _, _, _ = y[:n], z[:n], u[:n], v[:n], w[:n]

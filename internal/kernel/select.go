@@ -13,6 +13,8 @@ import "math"
 // The selection phase consumes the speeds pair by pair afterwards,
 // applying the probability rule and its RNG draws in store order, so the
 // per-cell draw sequence is untouched by the blocking.
+//
+//dsmc:hotpath
 func PairRelSpeeds[F Float](u, v, w []F, a, pairs int, g []float64) {
 	ub := u[a : a+2*pairs]
 	vb := v[a : a+2*pairs]

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// hotpathMarker tags a function whose steady-state executions must not
+// allocate: the engine step pipeline, the width-grouped kernels, the
+// fused cell sort, and the sampling sweep all carry it. The AllocsPerRun
+// tests assert the zero-allocation property end to end; this rule
+// attributes it per line, so a future edit that re-introduces an
+// allocation fails CI pointing at the exact expression.
+const hotpathMarker = "//dsmc:hotpath"
+
+// HotpathAlloc flags allocation sources inside functions marked
+// //dsmc:hotpath: make, new, closure literals (func literals created
+// per call escape to the heap), and append onto slices the function did
+// not visibly preallocate. Amortized grow paths — a scratch buffer that
+// re-makes itself when it is outgrown once and is stable after — are
+// legitimate and should carry a //dsmclint:allow waiver saying so.
+type HotpathAlloc struct{}
+
+// Name implements Rule.
+func (HotpathAlloc) Name() string { return "hotpath-alloc" }
+
+// Doc implements Rule.
+func (HotpathAlloc) Doc() string {
+	return "no allocation sources (make/new/closures/unpreallocated append) in //dsmc:hotpath functions"
+}
+
+// Check implements Rule.
+func (h HotpathAlloc) Check(pkg *Package) []Diagnostic {
+	if pkg.underTestdata() {
+		if _, opted := pkg.scopeArg(h.Name()); !opted {
+			return nil
+		}
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			out = append(out, h.checkFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// marker on a line of its own.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one hot function. Preallocation tracking is a simple
+// source-order approximation that matches the repo's idiom: a slice is
+// considered preallocated when the function binds it from a
+// length-zero reslice of an existing buffer (buf[:0]), a full slice
+// expression (buf[:n:c]), or a capacity-carrying make — and an append
+// whose result rebinds the same variable keeps the status.
+func (h HotpathAlloc) checkFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{pkg.Fset.Position(pos), h.Name(), fmt.Sprintf(format, args...)})
+	}
+	prealloc := map[string]bool{}
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if preallocates(pkg, prealloc, n.Rhs[i]) {
+					prealloc[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			diag(n.Pos(), "closure literal in hot path %s allocates per call; prebuild it at construction time", name)
+			return false // the literal's own body is not on the hot path
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pkg.Info, n, "make"):
+				diag(n.Pos(), "make in hot path %s: preallocate at construction (waive for an amortized grow path)", name)
+			case isBuiltin(pkg.Info, n, "new"):
+				diag(n.Pos(), "new in hot path %s: hoist the allocation out of the steady state", name)
+			case isBuiltin(pkg.Info, n, "append"):
+				id, isIdent := ast.Unparen(n.Args[0]).(*ast.Ident)
+				if !isIdent || !prealloc[id.Name] {
+					diag(n.Pos(), "append onto a slice %s did not preallocate: reslice a prebuilt buffer to [:0] first, or waive with the capacity argument", name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// preallocates reports whether binding a variable to rhs marks it
+// preallocated for append purposes.
+func preallocates(pkg *Package, prealloc map[string]bool, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		if rhs.Slice3 {
+			return true
+		}
+		// buf[:0] (or buf[lo:lo]) — the canonical reuse idiom.
+		if lit, ok := rhs.High.(*ast.BasicLit); ok && lit.Value == "0" {
+			return true
+		}
+	case *ast.CallExpr:
+		// make with an explicit capacity (itself flagged separately when
+		// it sits inside the hot function; fine when waived as a grow).
+		if isBuiltin(pkg.Info, rhs, "make") && len(rhs.Args) == 3 {
+			return true
+		}
+		// x = append(x, ...) chains keep the source's status.
+		if isBuiltin(pkg.Info, rhs, "append") {
+			if id, ok := ast.Unparen(rhs.Args[0]).(*ast.Ident); ok {
+				return prealloc[id.Name]
+			}
+		}
+	}
+	return false
+}

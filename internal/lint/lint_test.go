@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts expected-diagnostic annotations from fixture source
+// lines: `want "<regexp>"`. The regexp is matched against the
+// diagnostic's "rule: message" string at the same file and line.
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// wantKey addresses one fixture source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants scans every .go file of a fixture directory for want
+// annotations.
+func collectWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	wants := map[wantKey][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open fixture: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				k := wantKey{e.Name(), line}
+				wants[k] = append(wants[k], m[1])
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan fixture: %v", err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestFixtures runs the full rule set over each fixture package and
+// checks the diagnostics against the want annotations: every finding
+// must match a want on its line, and every want must be hit.
+func TestFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, dir := range fixtures {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			wants := collectWants(t, dir)
+			pkgs, err := Load(".", "./"+filepath.ToSlash(dir))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			diags := Run(pkgs, AllRules())
+
+			// Each want may be satisfied once; count per (file, line, pattern).
+			unmatched := map[wantKey][]string{}
+			for k, ps := range wants {
+				unmatched[k] = append([]string(nil), ps...)
+			}
+			for _, d := range diags {
+				k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+				got := d.Rule + ": " + d.Message
+				matched := false
+				rest := unmatched[k][:0]
+				for _, p := range unmatched[k] {
+					if !matched && regexp.MustCompile(p).MatchString(got) {
+						matched = true
+						continue
+					}
+					rest = append(rest, p)
+				}
+				unmatched[k] = rest
+				if !matched {
+					t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, got)
+				}
+			}
+			for k, ps := range unmatched {
+				for _, p := range ps {
+					t.Errorf("missing diagnostic at %s:%d: want match for %q", k.file, k.line, p)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeClean asserts the production tree itself lints clean — the
+// same check the CI lint job runs via cmd/dsmclint. Skipped in -short
+// mode (it type-checks the whole module).
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint covered by the CI lint job")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := Run(pkgs, AllRules())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRuleNamesUnique guards the waiver/scope grammar: rule names must
+// be distinct and must not collide with the meta rule.
+func TestRuleNamesUnique(t *testing.T) {
+	seen := map[string]bool{metaRule: true}
+	for _, r := range AllRules() {
+		if seen[r.Name()] {
+			t.Errorf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+		if r.Doc() == "" {
+			t.Errorf("rule %q has no doc", r.Name())
+		}
+	}
+}

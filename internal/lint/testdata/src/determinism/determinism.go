@@ -1,0 +1,39 @@
+// Package determinism seeds one violation of each determinism check:
+// wall-clock reads, the global math/rand generator, and map-order
+// iteration. The //dsmclint:scope directive stands in for membership in
+// the production scope table.
+//
+//dsmclint:scope determinism
+package determinism
+
+import (
+	"math/rand" // want "determinism: import of math/rand"
+	"time"
+)
+
+// Clocked reads the wall clock twice and draws from the global
+// generator.
+func Clocked() (time.Duration, int64) {
+	t0 := time.Now() // want "determinism: call to time.Now"
+	n := rand.Int63()
+	return time.Since(t0), n // want "determinism: call to time.Since"
+}
+
+// MapOrder iterates a map: the per-run randomized order leaks into the
+// sum of floats (addition is not associative).
+func MapOrder(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "determinism: range over a map"
+		s += v
+	}
+	return s
+}
+
+// SliceOrder iterates a slice: deterministic, no finding.
+func SliceOrder(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// Package floateq seeds exact float comparisons: on float64, float32, a
+// named float type, and a float-constrained type parameter — plus the
+// comparisons the rule must accept (integers, and the exact-zero
+// sentinel idiom).
+//
+//dsmclint:scope float-eq
+package floateq
+
+// Celsius is a named type with float underlying: still flags.
+type Celsius float64
+
+// Float mirrors the kernel's storage-precision constraint.
+type Float interface{ ~float32 | ~float64 }
+
+// Exact compares floats exactly in every representation.
+func Exact(a, b float64, c, d float32, t Celsius) bool {
+	if a == b { // want "float-eq: floating-point =="
+		return true
+	}
+	if c != d { // want "float-eq: floating-point !="
+		return false
+	}
+	return t == Celsius(a) // want "float-eq: floating-point =="
+}
+
+// Generic compares a float-constrained type parameter: whichever
+// precision instantiates it, the comparison is exact bits.
+func Generic[F Float](a, b F) bool {
+	return a == b // want "float-eq: floating-point =="
+}
+
+// Accepted: integer comparison and the exact-zero sentinel idiom.
+func Accepted(n int, x float64) bool {
+	if n == 3 {
+		return true
+	}
+	return x == 0 // zero-constant comparison is the unset/guard idiom: no finding
+}

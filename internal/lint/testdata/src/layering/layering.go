@@ -1,0 +1,18 @@
+// Package layering declares itself a kernel-layer package — the layer
+// allowed to import only the pure math leaves (collide, rng) — and then
+// imports above its station.
+//
+//dsmclint:layer kernel
+package layering
+
+import (
+	"dsmc/internal/rng" // allowed: kernel may import rng
+	"dsmc/internal/sim" // want "layering: package in layer .kernel. may not import dsmc/internal/sim"
+)
+
+// Use keeps both imports referenced.
+func Use() {
+	var cfg sim.Config
+	_ = cfg
+	_ = rng.NewStream(1)
+}

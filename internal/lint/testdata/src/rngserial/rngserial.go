@@ -1,0 +1,20 @@
+// Package rngserial exercises the serial tier of rng-discipline (the
+// sim/sim3/cmsim allowance): NewStream/Streams are permitted for a
+// backend's serial stream, but raw literals still flag.
+//
+//dsmclint:scope rng-discipline=serial
+package rngserial
+
+import "dsmc/internal/rng"
+
+// SerialStream is the sanctioned serial-stream construction: no finding.
+func SerialStream(seed uint64) float64 {
+	r := rng.NewStream(seed)
+	return r.Float64()
+}
+
+// RawLiteral still bypasses seeding even in the serial tier.
+func RawLiteral() float64 {
+	r := rng.Stream{} // want "rng-discipline: composite literal of rng.Stream"
+	return r.Float64()
+}

@@ -1,0 +1,30 @@
+// Package waiver exercises the //dsmclint:allow machinery: a trailing
+// waiver and a line-above waiver suppress findings, an unwaived
+// violation still fires, a waiver without a reason is rejected, and a
+// waiver that suppresses nothing is reported as stale.
+//
+//dsmclint:scope determinism
+package waiver
+
+import "time"
+
+// Timed demonstrates both waiver placements against the determinism
+// rule's wall-clock check.
+func Timed() time.Duration {
+	t0 := time.Now() //dsmclint:allow determinism trailing waiver: diagnostics-only timing for this fixture
+
+	//dsmclint:allow determinism line-above waiver: diagnostics-only timing for this fixture
+	t1 := time.Now()
+
+	d := time.Since(t1)       // want "determinism: call to time.Since"
+	return d + time.Since(t0) // want "determinism: call to time.Since"
+}
+
+// Hygiene: a reason-less waiver is itself a finding, and so is a waiver
+// with nothing to suppress.
+func Hygiene() int {
+	//dsmclint:allow determinism // want "dsmclint: waiver for .determinism. requires a reason"
+	x := 1
+	//dsmclint:allow float-eq nothing on the next line compares floats // want "dsmclint: stale waiver"
+	return x
+}

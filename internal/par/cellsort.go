@@ -76,6 +76,8 @@ func (cs *CellSort[F]) CellStart() []int32 { return cs.cellStart }
 // Plan computes cell[i] = cellOf(i) for every i in [0, n), the per-cell
 // counts and bucket boundaries, and every worker's scatter base inside
 // each cell. It must precede ScatterStore.
+//
+//dsmc:hotpath
 func (cs *CellSort[F]) Plan(n int, cell []int32, cellOf func(i int) int32) {
 	cs.cell, cs.cellOf = cell, cellOf
 	cs.pool.ForIdx(n, cs.histFn)
@@ -95,6 +97,7 @@ func (cs *CellSort[F]) Plan(n int, cell []int32, cellOf func(i int) int32) {
 	}
 }
 
+//dsmc:hotpath
 func (cs *CellSort[F]) histShard(w, lo, hi int) {
 	cw := cs.wcounts[w]
 	for c := range cw {
@@ -114,6 +117,8 @@ func (cs *CellSort[F]) histShard(w, lo, hi int) {
 // pointers — sort and physical reorder fused into this single pass. src
 // and dst must share Plan's cell slice (src.Cell) and have equal shape
 // (both 2D or both 3D, dst.Cap() >= src.Len()).
+//
+//dsmc:hotpath
 func (cs *CellSort[F]) ScatterStore(src, dst *particle.Store[F]) {
 	cs.src, cs.dst = src, dst
 	cs.pool.ForIdx(src.Len(), cs.scatterFn)
@@ -121,6 +126,7 @@ func (cs *CellSort[F]) ScatterStore(src, dst *particle.Store[F]) {
 	dst.SetLen(src.Len())
 }
 
+//dsmc:hotpath
 func (cs *CellSort[F]) scatterShard(w, lo, hi int) {
 	src, dst := cs.src, cs.dst
 	fill := cs.wfill[w]
@@ -152,12 +158,15 @@ func (cs *CellSort[F]) scatterShard(w, lo, hi int) {
 // counter-based stream (seed, epoch, cell), sharded over cell ranges.
 // swap exchanges two records of the scattered payload (e.g. the bound
 // store's Swap); it is only ever called with indices of one cell span.
+//
+//dsmc:hotpath
 func (cs *CellSort[F]) Shuffle(seed, epoch uint64, swap func(i, j int)) {
 	cs.seed, cs.epoch, cs.swap = seed, epoch, swap
 	cs.pool.ForIdx(len(cs.counts), cs.shuffleFn)
 	cs.swap = nil
 }
 
+//dsmc:hotpath
 func (cs *CellSort[F]) shuffleShard(_, clo, chi int) {
 	swap := cs.swap
 	for c := clo; c < chi; c++ {

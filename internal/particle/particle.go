@@ -86,6 +86,8 @@ func (s *Store[F]) Append(x, y float64, v collide.State5) int {
 
 // Vel returns the five velocity components of particle i, widened to the
 // float64 collision state.
+//
+//dsmc:hotpath
 func (s *Store[F]) Vel(i int) collide.State5 {
 	return collide.State5{
 		float64(s.U[i]), float64(s.V[i]), float64(s.W[i]),
@@ -95,11 +97,15 @@ func (s *Store[F]) Vel(i int) collide.State5 {
 
 // SetVel stores the five velocity components of particle i, rounding
 // once to the storage precision.
+//
+//dsmc:hotpath
 func (s *Store[F]) SetVel(i int, v collide.State5) {
 	s.U[i], s.V[i], s.W[i], s.R1[i], s.R2[i] = F(v[0]), F(v[1]), F(v[2]), F(v[3]), F(v[4])
 }
 
 // RemoveSwap deletes particle i by moving the last particle into its slot.
+//
+//dsmc:hotpath
 func (s *Store[F]) RemoveSwap(i int) {
 	last := s.n - 1
 	if i != last {
@@ -119,6 +125,8 @@ func (s *Store[F]) RemoveSwap(i int) {
 // velocity components, vibrational energy). Cell is NOT swapped: the
 // in-cell shuffle only ever swaps records inside one cell span, where the
 // indices are equal by the cell-major invariant.
+//
+//dsmc:hotpath
 func (s *Store[F]) Swap(i, j int) {
 	s.X[i], s.X[j] = s.X[j], s.X[i]
 	s.Y[i], s.Y[j] = s.Y[j], s.Y[i]

@@ -31,6 +31,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
+			//dsmclint:allow float-eq exact integer-valuedness test for formatting; Trunc returns the same bits for integral v
 			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 				row[i] = fmt.Sprintf("%.0f", v)
 			} else {
@@ -109,6 +110,7 @@ func Percentages(w io.Writer, title string, parts map[string]float64) error {
 		items = append(items, kv{k, v})
 	}
 	sort.Slice(items, func(i, j int) bool {
+		//dsmclint:allow float-eq sort tie-break on tallied counts; equal keys carry identical bits
 		if items[i].v != items[j].v {
 			return items[i].v > items[j].v
 		}

@@ -171,6 +171,7 @@ func ExecuteDAG(ctx context.Context, nodes []Node, pool int, onState func(id str
 		// Report everything that never started — still queued (in-degree
 		// zero) or still blocked — as skipped, in deterministic order.
 		skipped := append([]string(nil), ready...)
+		//dsmclint:allow determinism order-invariant: collected IDs are sorted before any observer sees them
 		for id, d := range indeg {
 			if d > 0 {
 				skipped = append(skipped, id)
@@ -190,6 +191,7 @@ func ExecuteDAG(ctx context.Context, nodes []Node, pool int, onState func(id str
 func checkAcyclic(indeg map[string]int, dependents map[string][]string) error {
 	deg := make(map[string]int, len(indeg))
 	var queue []string
+	//dsmclint:allow determinism order-invariant: collected IDs are sorted before any observer sees them
 	for id, d := range indeg {
 		deg[id] = d
 		if d == 0 {
@@ -210,6 +212,7 @@ func checkAcyclic(indeg map[string]int, dependents map[string][]string) error {
 	}
 	if seen != len(indeg) {
 		var stuck []string
+		//dsmclint:allow determinism order-invariant: the stuck list is sorted before it enters the error message
 		for id, d := range deg {
 			if d > 0 {
 				stuck = append(stuck, id)

@@ -22,6 +22,7 @@ func Contour(field []float64, g grid.Grid, level float64) []Segment {
 	var segs []Segment
 	at := func(ix, iy int) float64 { return field[g.Index(ix, iy)] }
 	interp := func(va, vb float64) float64 {
+		//dsmclint:allow float-eq degenerate-span guard: exact equality is precisely the division-by-zero case below
 		if vb == va {
 			return 0.5
 		}

@@ -90,7 +90,10 @@ func AddFlow[F kernel.Float](a *Accumulator, st *particle.Store[F]) {
 // (pass a serial loop or a worker pool's For); workers touch disjoint
 // cells and the per-cell summation order follows the store order, so the
 // accumulation is race-free and bit-identical for any sharding.
+//
+//dsmc:hotpath
 func AddFlowCellMajor[F kernel.Float](a *Accumulator, st *particle.Store[F], cellStart []int32, parFor func(n int, f func(lo, hi int))) {
+	//dsmclint:allow hotpath-alloc one closure per sample call (not per particle); the capture set varies per call so it cannot be prebuilt here
 	parFor(len(cellStart)-1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			for i := int(cellStart[c]); i < int(cellStart[c+1]); i++ {
