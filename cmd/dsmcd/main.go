@@ -48,12 +48,45 @@
 //	  "quantities": ["density","velocity-x","temperature"],
 //	  "points": [{"name":"long","grid_nx":160},{"name":"fast","piston_speed":0.2}],
 //	  "replicas": 2, "warm_steps": 100, "sample_steps": 100}'
+//
+// # Distributed execution
+//
+// Sweeps run through a coordinator (internal/coord): jobs are handed out
+// under leases to pull-based workers that heartbeat, upload periodic
+// checkpoints, and upload the final output. By default the coordinator's
+// workers are -pool embedded goroutines — the single-process case is
+// just that machinery with local transport — but the same protocol is
+// served over HTTP under /coord/v1/, so extra worker processes can join:
+//
+//	dsmcd -addr :8077 -data /var/lib/dsmcd &     # coordinator + embedded workers
+//	dsmcd -worker -coord http://host:8077 &      # extra pull-worker, any machine
+//
+// A worker whose heartbeats stop (crash, partition) loses its lease; the
+// coordinator redispatches the job and the next worker resumes from the
+// last uploaded checkpoint, bit-identical to a never-failed run. A job
+// that exhausts -max-retries dispatches fails the sweep, skipping its
+// dependents exactly like the in-process executor. GET /coord/v1/workers
+// reports the fleet.
+//
+// The NDJSON event stream emits {"type":"keepalive"} records during
+// quiet phases (every -keepalive); consumers must ignore unknown record
+// types. On SIGINT/SIGTERM the server drains: in-flight jobs checkpoint
+// their exact position and release their leases, and the HTTP listener
+// shuts down within -shutdown-timeout; a restart resumes bit-identically.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsmc/internal/coord"
 )
 
 func main() {
@@ -61,13 +94,83 @@ func main() {
 	log.SetPrefix("dsmcd: ")
 	addr := flag.String("addr", ":8077", "listen address")
 	data := flag.String("data", "dsmcd-data", "data directory (specs, checkpoints, results)")
-	pool := flag.Int("pool", 0, "max concurrent simulations per sweep (0 = NumCPU)")
+	pool := flag.Int("pool", 0, "embedded worker count = max concurrent simulations (0 = NumCPU)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "job lease TTL; a worker silent this long loses its job")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker heartbeat interval (must be well under the lease TTL)")
+	maxRetries := flag.Int("max-retries", 3, "dispatch attempts per job before the sweep fails")
+	keepalive := flag.Duration("keepalive", 15*time.Second, "NDJSON event-stream keepalive interval")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline for the HTTP server")
+
+	workerMode := flag.Bool("worker", false, "run as a pull-worker against -coord instead of serving")
+	coordURL := flag.String("coord", "http://127.0.0.1:8077", "coordinator base URL (worker mode)")
+	workerID := flag.String("worker-id", "", "worker identity (worker mode; default host-pid)")
+	chaosKill := flag.Int("chaos-kill-after-steps", 0, "CHAOS TESTING: crash the process once the first job reaches this step")
+	chaosDropHB := flag.Bool("chaos-drop-heartbeats", false, "CHAOS TESTING: silence heartbeats during the first job")
+	chaosFailUploads := flag.Int("chaos-fail-uploads", 0, "CHAOS TESTING: fail the first N checkpoint-upload attempts")
 	flag.Parse()
 
-	s, err := newServer(*data, *pool)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *workerMode {
+		runWorker(ctx, *coordURL, *workerID, *heartbeat, coord.Chaos{
+			KillAfterSteps: *chaosKill,
+			DropHeartbeats: *chaosDropHB,
+			FailUploads:    *chaosFailUploads,
+		})
+		return
+	}
+
+	s, err := newServerWith(serverOpts{
+		dataDir:    *data,
+		workers:    *pool,
+		leaseTTL:   *leaseTTL,
+		heartbeat:  *heartbeat,
+		maxRetries: *maxRetries,
+		keepalive:  *keepalive,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down: draining HTTP within %s, checkpointing in-flight jobs", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close() // deadline passed: cut lingering event streams
+		}
+	}()
 	log.Printf("serving on %s, data in %s", *addr, *data)
-	log.Fatal(http.ListenAndServe(*addr, s.handler()))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	// Listener is down; drain the embedded workers (checkpoint + release)
+	// so a restart resumes every job from its exact step position.
+	s.close()
+	log.Printf("shutdown complete")
+}
+
+// runWorker is worker mode: pull jobs from a remote coordinator until
+// the process is signalled, then checkpoint, release, and exit.
+func runWorker(ctx context.Context, coordURL, id string, heartbeat time.Duration, chaos coord.Chaos) {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	log.SetPrefix("dsmcd-worker: ")
+	log.Printf("worker %s pulling from %s", id, coordURL)
+	w := coord.NewWorker(coord.WorkerConfig{
+		ID:             id,
+		Queue:          &coord.HTTPQueue{Base: coordURL},
+		HeartbeatEvery: heartbeat,
+		Chaos:          chaos,
+		Logf:           log.Printf,
+	})
+	w.Run(ctx)
+	log.Printf("worker %s drained", id)
 }

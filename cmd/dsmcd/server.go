@@ -5,16 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"dsmc"
+	"dsmc/internal/coord"
 )
 
 // sweepState is the lifecycle of a submitted sweep.
@@ -78,30 +81,116 @@ type statusView struct {
 // On startup every spec without a result is relaunched; the job
 // checkpoints make the relaunch continue where the killed process
 // stopped, bit-identically.
+//
+// Execution goes through an internal/coord coordinator: sweeps become
+// leased job queues, and a pool of embedded pull-workers — plus any
+// external `dsmcd -worker` processes speaking the /coord/v1/ protocol —
+// runs them. The single-process default is just the degenerate case of
+// that machinery with only embedded workers.
 type server struct {
 	dataDir string
 	pool    int
+
+	coord     *coord.Coordinator
+	keepalive time.Duration
+
+	stopWorkers context.CancelFunc
+	workerWG    sync.WaitGroup
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepRun
 	nextID int
 }
 
+// serverOpts carries the tunables main exposes as flags; the zero value
+// of any field selects the default.
+type serverOpts struct {
+	dataDir    string
+	workers    int           // embedded worker count (0 = NumCPU, < 0 = none: external workers only)
+	leaseTTL   time.Duration // coordinator lease TTL (0 = 15s)
+	heartbeat  time.Duration // embedded-worker heartbeat (0 = 2s)
+	maxRetries int           // dispatch attempts per job (0 = 3)
+	keepalive  time.Duration // NDJSON keepalive interval (0 = 15s)
+}
+
 func newServer(dataDir string, pool int) (*server, error) {
-	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+	return newServerWith(serverOpts{dataDir: dataDir, workers: pool})
+}
+
+func newServerWith(opts serverOpts) (*server, error) {
+	if err := os.MkdirAll(opts.dataDir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &server{dataDir: dataDir, pool: pool, sweeps: map[string]*sweepRun{}}
+	switch {
+	case opts.workers == 0:
+		opts.workers = runtime.NumCPU()
+	case opts.workers < 0:
+		opts.workers = 0 // coordinator-only: jobs wait for external workers
+	}
+	if opts.keepalive <= 0 {
+		opts.keepalive = 15 * time.Second
+	}
+	s := &server{
+		dataDir:   opts.dataDir,
+		pool:      opts.workers,
+		keepalive: opts.keepalive,
+		sweeps:    map[string]*sweepRun{},
+	}
+	s.coord = coord.New(coord.Config{
+		DataDir:     opts.dataDir,
+		LeaseTTL:    opts.leaseTTL,
+		MaxAttempts: opts.maxRetries,
+		OnEvent:     s.observeSweep,
+	})
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.stopWorkers = cancel
+	for i := 0; i < opts.workers; i++ {
+		w := coord.NewWorker(coord.WorkerConfig{
+			ID:             fmt.Sprintf("embedded-%d", i),
+			Queue:          coord.LocalQueue{C: s.coord},
+			HeartbeatEvery: opts.heartbeat,
+			PollEvery:      25 * time.Millisecond,
+		})
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			w.Run(ctx)
+		}()
 	}
 	return s, nil
 }
 
+// close drains the embedded workers: each checkpoints its in-flight job,
+// uploads the state, and releases its lease before returning, so a
+// restarted server (or a remote worker) resumes bit-identically.
+func (s *server) close() {
+	s.stopWorkers()
+	s.workerWG.Wait()
+}
+
+// observeSweep routes coordinator events into the sweep's history/fan-out.
+func (s *server) observeSweep(sweepID string, e dsmc.SweepEvent) {
+	s.mu.Lock()
+	run := s.sweeps[sweepID]
+	s.mu.Unlock()
+	if run != nil {
+		run.observe(e)
+	}
+}
+
 // recover scans the data directory: finished sweeps are registered as
 // done (their result served from disk), unfinished ones are relaunched
-// from their spec + checkpoints.
+// from their spec + checkpoints. Orphaned *.tmp files — left by a crash
+// in the middle of an atomic write (spec, result, or checkpoint) — are
+// removed first: the rename never happened, so the orphan is garbage by
+// construction and must not shadow the real file's next write.
 func (s *server) recover() error {
+	if err := removeOrphanTmp(s.dataDir); err != nil {
+		return err
+	}
 	entries, err := os.ReadDir(s.dataDir)
 	if err != nil {
 		return err
@@ -141,6 +230,22 @@ func (s *server) recover() error {
 	return nil
 }
 
+// removeOrphanTmp walks the data tree and deletes every *.tmp file.
+func removeOrphanTmp(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			log.Printf("recover: removing orphaned temp file %s", path)
+			if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 func idNumber(id string) int {
 	var n int
 	fmt.Sscanf(id, "sw-%d", &n)
@@ -165,20 +270,27 @@ func (s *server) register(id string, spec dsmc.SweepSpec, resumed bool) *sweepRu
 	return run
 }
 
-// execute runs the sweep to completion, persisting the result.
+// execute hands the sweep to the coordinator; the embedded (and any
+// remote) workers pull its jobs, and the completion callback persists
+// the assembled result.
 func (s *server) execute(run *sweepRun) {
-	res, err := dsmc.RunSweep(context.Background(), run.spec, run.observe)
-	if err == nil {
-		var buf []byte
-		if buf, err = json.MarshalIndent(res, "", " "); err == nil {
-			err = atomicWrite(filepath.Join(s.dataDir, run.ID, "result.json"), append(buf, '\n'))
+	err := s.coord.AddSweep(run.ID, run.spec, func(res *dsmc.SweepResult, err error) {
+		if err == nil {
+			var buf []byte
+			if buf, err = json.MarshalIndent(res, "", " "); err == nil {
+				err = atomicWrite(filepath.Join(s.dataDir, run.ID, "result.json"), append(buf, '\n'))
+			}
 		}
-	}
-	run.finish(res, err)
+		run.finish(res, err)
+		if err != nil {
+			log.Printf("%s failed: %v", run.ID, err)
+		} else {
+			log.Printf("%s done", run.ID)
+		}
+	})
 	if err != nil {
+		run.finish(nil, err)
 		log.Printf("%s failed: %v", run.ID, err)
-	} else {
-		log.Printf("%s done", run.ID)
 	}
 }
 
@@ -207,6 +319,12 @@ func (r *sweepRun) observe(e dsmc.SweepEvent) {
 		js.Err = e.Err
 	case "job-skipped":
 		js.State = "skipped"
+	case "job-lost", "job-released":
+		// The lease ended without a result (worker lost, or drained on
+		// shutdown); the job is queued for redispatch and will resume
+		// from its last uploaded checkpoint.
+		js.State = "queued"
+		js.StepsDone, js.StepsTotal = e.StepsDone, e.StepsTotal
 	}
 	for ch := range r.subs {
 		select {
@@ -280,6 +398,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	// The coordinator protocol, for external `dsmcd -worker` processes.
+	mux.Handle("/coord/v1/", s.coord.Handler())
 	return mux
 }
 
@@ -398,7 +518,11 @@ func (s *server) handleStatus(w http.ResponseWriter, req *http.Request) {
 
 // handleEvents streams the sweep's progress as NDJSON: the buffered
 // history first, then live events until the sweep finishes or the
-// client goes away.
+// client goes away. During quiet phases (long warm-up chunks, a stalled
+// worker being timed out) the stream emits a keepalive record —
+// {"type":"keepalive","job":""} — every keepalive interval, so clients
+// and intermediaries can distinguish a slow sweep from a dead
+// connection. Consumers must ignore record types they do not know.
 func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	run := s.lookup(w, req)
 	if run == nil {
@@ -418,10 +542,20 @@ func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+	keepalive := time.NewTicker(s.keepalive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case e := <-ch:
 			if enc.Encode(e) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			keepalive.Reset(s.keepalive)
+		case <-keepalive.C:
+			if enc.Encode(dsmc.SweepEvent{Type: "keepalive"}) != nil {
 				return
 			}
 			if flusher != nil {

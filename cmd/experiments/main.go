@@ -25,6 +25,12 @@
 //	              kills it mid-flight, resumes from the checkpoints, and
 //	              fails unless the aggregates are bit-identical to the
 //	              uninterrupted run
+//	coord-chaos   self-verifying distributed fault tolerance: runs the
+//	              sweep through the coordinator/pull-worker machinery
+//	              (internal/coord), crashes one worker mid-job with the
+//	              chaos harness, lets the survivors resume its lease from
+//	              the last uploaded checkpoint, and fails unless the
+//	              aggregates are bit-identical to the in-process run
 //
 // Run all paper experiments with defaults (a few minutes):
 //
@@ -34,6 +40,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,11 +48,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dsmc"
 	"dsmc/internal/cm"
 	"dsmc/internal/cmsim"
+	"dsmc/internal/coord"
 	"dsmc/internal/par"
 	"dsmc/internal/report"
 	"dsmc/internal/sim"
@@ -68,7 +77,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var h harness
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare|scaling|sweep|sweep-resume")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|phases|compare|scaling|sweep|sweep-resume|coord-chaos")
 	flag.Float64Var(&h.perCell, "percell", 8, "particles per cell (75 = paper scale)")
 	flag.IntVar(&h.steps, "steps", 600, "steps to steady state (paper: 1200)")
 	flag.IntVar(&h.avg, "avg", 300, "averaging steps (paper: 2000)")
@@ -93,6 +102,7 @@ func main() {
 		"scaling":      h.scaling,
 		"sweep":        func() error { _, err := h.sweep(h.ckptDir); return err },
 		"sweep-resume": h.sweepResume,
+		"coord-chaos":  h.coordChaos,
 	}
 	// figs 2/3 and 5/6 are produced by the same runs as 1 and 4.
 	run["fig2"], run["fig3"] = run["fig1"], run["fig1"]
@@ -488,6 +498,116 @@ func (h *harness) sweepResume() error {
 		return fmt.Errorf("sweep-resume FAILED: %w", err)
 	}
 	fmt.Println("sweep-resume: PASS — resumed aggregates are bit-identical to the uninterrupted run")
+	return nil
+}
+
+// errChaosCrash is the sentinel thrown by the in-process chaos "crash":
+// panicking through the worker's exit hook kills its goroutine the way
+// os.Exit kills a worker process, without taking the experiment down.
+var errChaosCrash = errors.New("chaos: injected worker crash")
+
+// coordChaos is the self-verifying distributed fault-tolerance check:
+// the sweep runs once in process (the reference), then again through the
+// coordinator with pull-workers, where the first worker crashes hard mid
+// job — after it has uploaded a checkpoint, with its heartbeats silenced
+// so nothing keeps the lease alive. The coordinator expires the lease,
+// redispatches, and a surviving worker resumes from the uploaded
+// checkpoint. The final aggregates must match the reference bit for bit.
+func (h *harness) coordChaos() error {
+	straight, err := h.sweep("")
+	if err != nil {
+		return err
+	}
+
+	spec := h.sweepSpec("")
+	spec.CheckpointEvery = (spec.WarmSteps + spec.SampleSteps) / 8
+	if spec.CheckpointEvery < 1 {
+		spec.CheckpointEvery = 1
+	}
+
+	dataDir := filepath.Join(h.outDir, "coord-data")
+	if err := os.RemoveAll(dataDir); err != nil {
+		return err
+	}
+	var lost atomic.Int32
+	c := coord.New(coord.Config{
+		DataDir:     dataDir,
+		LeaseTTL:    5 * time.Second,
+		MaxAttempts: 3,
+		OnEvent: func(_ string, e dsmc.SweepEvent) {
+			switch e.Type {
+			case "job-lost":
+				lost.Add(1)
+				fmt.Printf("  coordinator: %s lost (%s)\n", e.Job, e.Err)
+			case "job-failed", "job-skipped":
+				fmt.Printf("  coordinator: %s %s (%s)\n", e.Job, e.Type, e.Err)
+			}
+		},
+	})
+	done := make(chan struct{})
+	var chaosRes *dsmc.SweepResult
+	var chaosErr error
+	if err := c.AddSweep("coord-chaos", spec, func(r *dsmc.SweepResult, err error) {
+		chaosRes, chaosErr = r, err
+		close(done)
+	}); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The crash worker runs alone first so it deterministically leases a
+	// job; it dies one chunk after its first checkpoint upload.
+	crashed := make(chan struct{})
+	crash := coord.NewWorker(coord.WorkerConfig{
+		ID:        "crash-worker",
+		Queue:     coord.LocalQueue{C: c},
+		PollEvery: 10 * time.Millisecond,
+		Chaos: coord.Chaos{
+			KillAfterSteps: spec.CheckpointEvery + 1,
+			DropHeartbeats: true,
+			Exit:           func(int) { panic(errChaosCrash) },
+		},
+	})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != errChaosCrash {
+					panic(r)
+				}
+				close(crashed)
+			}
+		}()
+		crash.Run(ctx)
+	}()
+	select {
+	case <-crashed:
+		fmt.Println("coord-chaos: crash worker died mid-job; survivors take over")
+	case <-time.After(10 * time.Minute):
+		return fmt.Errorf("coord-chaos: crash worker never crashed")
+	}
+
+	for i := 0; i < 2; i++ {
+		w := coord.NewWorker(coord.WorkerConfig{
+			ID:        fmt.Sprintf("survivor-%d", i),
+			Queue:     coord.LocalQueue{C: c},
+			PollEvery: 10 * time.Millisecond,
+		})
+		go w.Run(ctx)
+	}
+
+	<-done
+	if chaosErr != nil {
+		return fmt.Errorf("coord-chaos sweep failed: %w", chaosErr)
+	}
+	if lost.Load() == 0 {
+		return fmt.Errorf("coord-chaos FAILED: the crash was never detected as a lost lease")
+	}
+	if err := compareSweeps(straight, chaosRes); err != nil {
+		return fmt.Errorf("coord-chaos FAILED: %w", err)
+	}
+	fmt.Println("coord-chaos: PASS — aggregates after a worker crash and lease-expiry resume are bit-identical to the in-process run")
 	return nil
 }
 

@@ -389,8 +389,17 @@ func RunSweep(ctx context.Context, spec SweepSpec, onEvent func(SweepEvent)) (*S
 	if err != nil {
 		return nil, err
 	}
-	out := &SweepResult{Name: spec.Name}
-	for i, agg := range res.Aggregates {
+	return assembleResult(spec.Name, plans, res.Aggregates), nil
+}
+
+// assembleResult converts the orchestration layer's per-scenario
+// aggregates into the public sweep result, attaching each point's
+// resolved plan (kind, field shape, analysis context). Both the
+// in-process RunSweep and the distributed AssembleSweepResult end here,
+// so the two execution paths can never drift in shape or convention.
+func assembleResult(name string, plans []*plan, aggs []*run.Aggregate) *SweepResult {
+	out := &SweepResult{Name: name}
+	for i, agg := range aggs {
 		pl := plans[i]
 		pr := PointResult{
 			Name:          agg.Scenario,
@@ -411,7 +420,7 @@ func RunSweep(ctx context.Context, spec SweepSpec, onEvent func(SweepEvent)) (*S
 		pr.Density = pr.Fields[Density]
 		out.Points = append(out.Points, pr)
 	}
-	return out, nil
+	return out
 }
 
 // RunEnsemble runs replicas of one scenario and aggregates them — the

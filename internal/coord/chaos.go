@@ -1,0 +1,38 @@
+package coord
+
+import (
+	"errors"
+	"os"
+)
+
+// errInjectedUpload is the transient failure the chaos harness injects
+// below the worker's retry layer, simulating a dropped upload.
+var errInjectedUpload = errors.New("coord: chaos: injected upload failure")
+
+// Chaos is the fault-injection harness the e2e and recovery tests drive.
+// Faults target a worker's first job (so a chaotic worker misbehaves
+// once, then the test observes recovery); the zero value injects
+// nothing and costs nothing.
+type Chaos struct {
+	// KillAfterSteps terminates the worker process (Exit, default
+	// os.Exit(2)) once its first job reaches that many steps — a hard
+	// crash: no release, no goodbye, lease left to expire.
+	KillAfterSteps int
+	// DropHeartbeats silences every heartbeat of the first job, so the
+	// coordinator sees a lost worker and redispatches while this worker
+	// computes on — exercising stale-lease rejection of its uploads.
+	DropHeartbeats bool
+	// FailUploads makes the first N checkpoint-upload attempts fail with
+	// a transient error, exercising the retry/backoff path.
+	FailUploads int
+	// Exit overrides process termination for in-process tests.
+	Exit func(code int)
+}
+
+func (c Chaos) exit(code int) {
+	if c.Exit != nil {
+		c.Exit(code)
+		return
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,129 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"dsmc"
+)
+
+// HTTPQueue speaks the coordinator wire protocol. It is a dumb
+// transport: retries and backoff live in the Worker, so transient
+// network errors and 5xx responses surface as plain errors, while 410
+// and 404 map back to the protocol sentinels ErrStaleLease/ErrUnknown
+// (which the worker treats as permanent answers, never retried).
+type HTTPQueue struct {
+	// Base is the coordinator root, e.g. "http://127.0.0.1:8077".
+	Base string
+	// Client defaults to http.DefaultClient; per-call deadlines come from
+	// the contexts the worker passes in.
+	Client *http.Client
+}
+
+func (q *HTTPQueue) client() *http.Client {
+	if q.Client != nil {
+		return q.Client
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and returns the response body for 2xx statuses
+// (nil for 204), mapping protocol statuses to sentinel errors.
+func (q *HTTPQueue) do(ctx context.Context, method, path string, contentType string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, q.Base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := q.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil, nil
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return io.ReadAll(resp.Body)
+	case resp.StatusCode == http.StatusGone:
+		return nil, ErrStaleLease
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, ErrUnknown
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("coord: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+func jobQuery(path string, l *Lease) string {
+	v := url.Values{}
+	v.Set("sweep", l.Sweep)
+	v.Set("job", l.Job)
+	v.Set("lease", l.LeaseID)
+	return path + "?" + v.Encode()
+}
+
+func (q *HTTPQueue) Poll(ctx context.Context, workerID string) (*Lease, error) {
+	body, _ := json.Marshal(map[string]string{"worker": workerID})
+	data, err := q.do(ctx, http.MethodPost, "/coord/v1/poll", "application/json", body)
+	if err != nil || data == nil {
+		return nil, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("coord: bad lease: %w", err)
+	}
+	return &l, nil
+}
+
+func (q *HTTPQueue) Heartbeat(ctx context.Context, hb Heartbeat) (string, error) {
+	body, _ := json.Marshal(hb)
+	data, err := q.do(ctx, http.MethodPost, "/coord/v1/heartbeat", "application/json", body)
+	if err != nil {
+		return "", err
+	}
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return "", fmt.Errorf("coord: bad heartbeat response: %w", err)
+	}
+	return resp.Status, nil
+}
+
+func (q *HTTPQueue) LoadCheckpoint(ctx context.Context, l *Lease) ([]byte, error) {
+	return q.do(ctx, http.MethodGet, jobQuery("/coord/v1/checkpoint", l), "", nil)
+}
+
+func (q *HTTPQueue) SaveCheckpoint(ctx context.Context, l *Lease, data []byte) error {
+	_, err := q.do(ctx, http.MethodPut, jobQuery("/coord/v1/checkpoint", l), "application/octet-stream", data)
+	return err
+}
+
+func (q *HTTPQueue) Complete(ctx context.Context, l *Lease, out *dsmc.ReplicaOutput) error {
+	_, err := q.do(ctx, http.MethodPost, jobQuery("/coord/v1/complete", l), "application/octet-stream", EncodeOutput(out))
+	return err
+}
+
+func (q *HTTPQueue) Release(ctx context.Context, l *Lease, stepsDone int) error {
+	body, _ := json.Marshal(map[string]int{"steps_done": stepsDone})
+	_, err := q.do(ctx, http.MethodPost, jobQuery("/coord/v1/release", l), "application/json", body)
+	return err
+}
+
+func (q *HTTPQueue) Fail(ctx context.Context, l *Lease, msg string) error {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	_, err := q.do(ctx, http.MethodPost, jobQuery("/coord/v1/fail", l), "application/json", body)
+	return err
+}

@@ -1,0 +1,236 @@
+// Package coord distributes a sweep's job DAG across worker processes
+// and survives their failure. It sits above the public dsmc API — the
+// coordinator enumerates jobs with dsmc.SweepJobs, pull-based workers
+// execute them with dsmc.RunSweepJob, and the coordinator assembles the
+// uploaded outputs with dsmc.AssembleSweepResult — so a distributed
+// sweep shares every line of lowering, seeding, stepping and
+// aggregation code with the in-process path and its result is
+// bit-identical to a single-process run.
+//
+// Protocol (modeled on dagu's coordinator protocol: workers poll for
+// work, the coordinator dispatches leases, heartbeats carry liveness and
+// step progress, a workers endpoint feeds status):
+//
+//	POST /coord/v1/poll        {"worker": id}        → 200 lease | 204 no work
+//	POST /coord/v1/heartbeat   {worker, sweep, job, lease, steps_done, steps_total}
+//	                                                 → {"status": "ok" | "abandon"}
+//	GET  /coord/v1/checkpoint?sweep=&job=&lease=     → 200 bytes | 204 none
+//	PUT  /coord/v1/checkpoint?sweep=&job=&lease=     → 204 (idempotent)
+//	POST /coord/v1/complete?sweep=&job=&lease=       → 204 (idempotent; body: binary output)
+//	POST /coord/v1/release?sweep=&job=&lease=        → 204 (graceful hand-back)
+//	POST /coord/v1/fail?sweep=&job=&lease=           → 204 (body: {"error": msg})
+//	GET  /coord/v1/workers                           → {"workers": [...]}
+//
+// Failure model: a lease that misses its heartbeats expires and the job
+// is redispatched to the next polling worker, which resumes from the
+// last uploaded checkpoint — because seeds and accumulators are
+// deterministic, the retried job contributes the same bits as the
+// never-failed run. A stale worker (its lease expired while it kept
+// computing) gets 410 on every mutation, so redelivered uploads and
+// completions are rejected idempotently and can never corrupt a
+// redispatched job's state. A job that exhausts its dispatch budget is
+// failed permanently and the failure skips forward through the DAG: the
+// point's aggregation and every remaining undispatched job are marked
+// skipped and the sweep reports the first error, exactly like the
+// in-process executor.
+package coord
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"dsmc"
+)
+
+// Sentinel errors of the coordinator API. The HTTP layer maps them to
+// status codes and the client maps the codes back, so in-process and
+// remote queues behave identically.
+var (
+	// ErrStaleLease rejects a mutation under a lease that is no longer
+	// the job's current lease — expired, released, superseded by a
+	// redispatch, or on a sweep that already failed. The rejection is
+	// idempotent: repeating the call changes nothing on either side, and
+	// the worker's reaction is always "abandon the job".
+	ErrStaleLease = errors.New("coord: stale lease")
+	// ErrUnknown rejects references to sweeps or jobs the coordinator
+	// does not track.
+	ErrUnknown = errors.New("coord: unknown sweep or job")
+)
+
+// Lease is a dispatched job: the sweep spec to lower, the (point,
+// replica) coordinates to run, and the lease the worker must present on
+// every subsequent call. TTLMillis tells the worker how often it must
+// heartbeat to keep the lease alive (heartbeat interval ≪ TTL).
+type Lease struct {
+	Sweep         string          `json:"sweep"`
+	Job           string          `json:"job"`
+	Point         int             `json:"point"`
+	Replica       int             `json:"replica"`
+	StepsTotal    int             `json:"steps_total"`
+	LeaseID       string          `json:"lease_id"`
+	TTLMillis     int64           `json:"ttl_ms"`
+	HasCheckpoint bool            `json:"has_checkpoint"`
+	Spec          json.RawMessage `json:"spec"`
+}
+
+// Heartbeat carries a worker's liveness and step progress for its
+// current lease.
+type Heartbeat struct {
+	Worker     string `json:"worker"`
+	Sweep      string `json:"sweep"`
+	Job        string `json:"job"`
+	Lease      string `json:"lease"`
+	StepsDone  int    `json:"steps_done"`
+	StepsTotal int    `json:"steps_total"`
+}
+
+// Heartbeat responses.
+const (
+	// HBOK acknowledges the heartbeat and renews the lease.
+	HBOK = "ok"
+	// HBAbandon tells the worker its lease is gone (expired and possibly
+	// redispatched): stop working on the job and poll for new work.
+	HBAbandon = "abandon"
+)
+
+// WorkerStatus is one row of the workers endpoint: the operator's view
+// of the fleet.
+type WorkerStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"` // "running" | "idle" | "lost"
+	Sweep      string `json:"sweep,omitempty"`
+	Job        string `json:"job,omitempty"`
+	StepsDone  int    `json:"steps_done,omitempty"`
+	StepsTotal int    `json:"steps_total,omitempty"`
+	// LastSeenMillis is the age of the last contact, in milliseconds.
+	LastSeenMillis int64 `json:"last_seen_ms"`
+}
+
+// The binary replica-output codec. JSON cannot carry the outputs —
+// ShockAngleDeg is NaN for scenarios without a wedge — and the sweep's
+// bit-identity guarantee makes "almost the same float" a corruption, so
+// outputs travel as raw IEEE-754 bits with a checksum trailer:
+//
+//	magic "DSMCOUT1"
+//	u32 field count, then per field (sorted by name):
+//	  u32 name length, name bytes, u32 cell count, cells × u64 float bits
+//	u64 shock angle bits, u64 collisions, u64 nflow
+//	u64 FNV-1a of everything before the trailer
+const outputMagic = "DSMCOUT1"
+
+// EncodeOutput serializes a replica output bit-exactly.
+func EncodeOutput(o *dsmc.ReplicaOutput) []byte {
+	names := make([]string, 0, len(o.Fields))
+	for name := range o.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	size := len(outputMagic) + 4
+	for _, name := range names {
+		size += 4 + len(name) + 4 + 8*len(o.Fields[name])
+	}
+	size += 8 * 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, outputMagic...)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(uint32(len(names)))
+	for _, name := range names {
+		u32(uint32(len(name)))
+		buf = append(buf, name...)
+		col := o.Fields[name]
+		u32(uint32(len(col)))
+		for _, v := range col {
+			u64(math.Float64bits(v))
+		}
+	}
+	u64(math.Float64bits(o.ShockAngleDeg))
+	u64(uint64(o.Collisions))
+	u64(uint64(o.NFlow))
+	h := fnv.New64a()
+	h.Write(buf)
+	u64(h.Sum64())
+	return buf
+}
+
+// DecodeOutput parses an encoded replica output, verifying the checksum
+// before trusting any of it.
+func DecodeOutput(data []byte) (*dsmc.ReplicaOutput, error) {
+	if len(data) < len(outputMagic)+4+8*4 || string(data[:len(outputMagic)]) != outputMagic {
+		return nil, errors.New("coord: malformed output (bad magic or truncated)")
+	}
+	h := fnv.New64a()
+	h.Write(data[:len(data)-8])
+	if h.Sum64() != binary.LittleEndian.Uint64(data[len(data)-8:]) {
+		return nil, errors.New("coord: output checksum mismatch")
+	}
+	p := data[len(outputMagic) : len(data)-8]
+	fail := errors.New("coord: malformed output (truncated)")
+	u32 := func() (uint32, error) {
+		if len(p) < 4 {
+			return 0, fail
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if len(p) < 8 {
+			return 0, fail
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, nil
+	}
+	nf, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	out := &dsmc.ReplicaOutput{Fields: make(map[string][]float64, nf)}
+	for i := uint32(0); i < nf; i++ {
+		nl, err := u32()
+		if err != nil || len(p) < int(nl) {
+			return nil, fail
+		}
+		name := string(p[:nl])
+		p = p[nl:]
+		cells, err := u32()
+		if err != nil || len(p) < 8*int(cells) {
+			return nil, fail
+		}
+		col := make([]float64, cells)
+		for c := range col {
+			col[c] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*c:]))
+		}
+		p = p[8*int(cells):]
+		if _, dup := out.Fields[name]; dup {
+			return nil, fmt.Errorf("coord: malformed output (duplicate field %q)", name)
+		}
+		out.Fields[name] = col
+	}
+	angle, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	colls, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	nflow, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, errors.New("coord: malformed output (trailing bytes)")
+	}
+	out.ShockAngleDeg = math.Float64frombits(angle)
+	out.Collisions = int64(colls)
+	out.NFlow = int(nflow)
+	return out, nil
+}

@@ -1,0 +1,368 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsmc"
+)
+
+// Queue is the worker's view of a coordinator: the in-process LocalQueue
+// binds directly to a *Coordinator (the embedded single-binary mode) and
+// HTTPQueue speaks the wire protocol to a remote one. The Worker itself
+// supplies retries with jittered exponential backoff on top, so both
+// transports behave identically under transient failure.
+type Queue interface {
+	Poll(ctx context.Context, workerID string) (*Lease, error)
+	Heartbeat(ctx context.Context, hb Heartbeat) (string, error)
+	LoadCheckpoint(ctx context.Context, l *Lease) ([]byte, error)
+	SaveCheckpoint(ctx context.Context, l *Lease, data []byte) error
+	Complete(ctx context.Context, l *Lease, out *dsmc.ReplicaOutput) error
+	Release(ctx context.Context, l *Lease, stepsDone int) error
+	Fail(ctx context.Context, l *Lease, msg string) error
+}
+
+// LocalQueue adapts a *Coordinator into a Queue for embedded workers.
+type LocalQueue struct{ C *Coordinator }
+
+func (q LocalQueue) Poll(_ context.Context, workerID string) (*Lease, error) {
+	return q.C.Poll(workerID)
+}
+func (q LocalQueue) Heartbeat(_ context.Context, hb Heartbeat) (string, error) {
+	return q.C.HandleHeartbeat(hb)
+}
+func (q LocalQueue) LoadCheckpoint(_ context.Context, l *Lease) ([]byte, error) {
+	return q.C.LoadCheckpoint(l.Sweep, l.Job, l.LeaseID)
+}
+func (q LocalQueue) SaveCheckpoint(_ context.Context, l *Lease, data []byte) error {
+	return q.C.SaveCheckpoint(l.Sweep, l.Job, l.LeaseID, data)
+}
+func (q LocalQueue) Complete(_ context.Context, l *Lease, out *dsmc.ReplicaOutput) error {
+	return q.C.Complete(l.Sweep, l.Job, l.LeaseID, out)
+}
+func (q LocalQueue) Release(_ context.Context, l *Lease, stepsDone int) error {
+	return q.C.Release(l.Sweep, l.Job, l.LeaseID, stepsDone)
+}
+func (q LocalQueue) Fail(_ context.Context, l *Lease, msg string) error {
+	return q.C.Fail(l.Sweep, l.Job, l.LeaseID, msg)
+}
+
+// WorkerConfig parameterizes a pull-worker.
+type WorkerConfig struct {
+	ID    string
+	Queue Queue
+	// HeartbeatEvery is the lease-renewal interval (default 2s); it must
+	// be well under the coordinator's lease TTL. Progress changes also
+	// heartbeat immediately, so event streams track chunk completions.
+	HeartbeatEvery time.Duration
+	// PollEvery is the idle re-poll interval (default 250ms), jittered to
+	// decorrelate a fleet.
+	PollEvery time.Duration
+	// IOTimeout bounds each coordinator call made outside the worker's
+	// run context — checkpoint uploads, completion, release — so shutdown
+	// still flushes state but cannot hang (default 15s).
+	IOTimeout time.Duration
+	// RetryBase/RetryMax shape the jittered exponential backoff on
+	// transient coordinator errors (defaults 100ms / 5s, 6 attempts).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Chaos injects faults for testing; the zero value injects nothing.
+	Chaos Chaos
+	// Logf, when non-nil, receives worker lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker pulls jobs from a coordinator and runs them with
+// dsmc.RunSweepJob, heartbeating and uploading checkpoints as it goes.
+type Worker struct {
+	cfg      WorkerConfig
+	jobsSeen int
+
+	chaosUploadsLeft atomic.Int32
+
+	rngMu sync.Mutex
+	rng   uint64
+}
+
+// NewWorker builds a worker; defaults are filled in.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 2 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 250 * time.Millisecond
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 15 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	seed := h.Sum64() ^ uint64(time.Now().UnixNano())
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	w := &Worker{cfg: cfg, rng: seed}
+	w.chaosUploadsLeft.Store(int32(cfg.Chaos.FailUploads))
+	return w
+}
+
+// Run pulls and executes jobs until ctx is cancelled. On cancellation
+// mid-job the in-flight job checkpoints its exact step position, uploads
+// it, and releases its lease, so another worker resumes bit-identically;
+// Run returns only after that drain completes.
+func (w *Worker) Run(ctx context.Context) error {
+	pollFails := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lease, err := w.cfg.Queue.Poll(ctx, w.cfg.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			pollFails++
+			w.sleep(ctx, w.backoff(pollFails))
+			continue
+		}
+		pollFails = 0
+		if lease == nil {
+			w.sleep(ctx, w.cfg.PollEvery+w.jitter(w.cfg.PollEvery/2))
+			continue
+		}
+		w.runJob(ctx, lease)
+	}
+}
+
+// runJob executes one leased job end to end.
+func (w *Worker) runJob(ctx context.Context, l *Lease) {
+	w.jobsSeen++
+	chaotic := w.jobsSeen == 1 // fault injection targets a worker's first job
+
+	var spec dsmc.SweepSpec
+	if err := json.Unmarshal(l.Spec, &spec); err != nil {
+		_ = w.retry(ctx, func(c context.Context) error {
+			return w.cfg.Queue.Fail(c, l, fmt.Sprintf("bad spec: %v", err))
+		})
+		return
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var abandoned atomic.Bool
+	var stepsDone atomic.Int64
+
+	// sendHB heartbeats the current progress; a stale lease answer
+	// cancels the job immediately so no further work is wasted.
+	sendHB := func(done int) {
+		if chaotic && w.cfg.Chaos.DropHeartbeats {
+			return
+		}
+		hbCtx, cancelHB := context.WithTimeout(context.Background(), w.cfg.IOTimeout)
+		status, err := w.cfg.Queue.Heartbeat(hbCtx, Heartbeat{
+			Worker: w.cfg.ID, Sweep: l.Sweep, Job: l.Job, Lease: l.LeaseID,
+			StepsDone: done, StepsTotal: l.StepsTotal,
+		})
+		cancelHB()
+		if err == nil && status == HBAbandon {
+			abandoned.Store(true)
+			cancel()
+		}
+	}
+
+	// The ticker covers quiet phases between progress callbacks (large
+	// chunks, slow steps); progress callbacks heartbeat immediately.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(w.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				sendHB(int(stepsDone.Load()))
+			}
+		}
+	}()
+
+	store := &queueCkpt{w: w, l: l, abandoned: &abandoned, cancel: cancel, chaotic: chaotic}
+	out, err := dsmc.RunSweepJob(jobCtx, spec, l.Point, l.Replica, dsmc.SweepJobIO{
+		Checkpoint: store,
+		Progress: func(done, total int) {
+			stepsDone.Store(int64(done))
+			if chaotic && w.cfg.Chaos.KillAfterSteps > 0 && done >= w.cfg.Chaos.KillAfterSteps {
+				w.logf("chaos: killing worker at step %d of job %s", done, l.Job)
+				w.cfg.Chaos.exit(2)
+			}
+			sendHB(done)
+		},
+	})
+	close(hbStop)
+	hbWG.Wait()
+
+	switch {
+	case abandoned.Load():
+		// The lease is gone; the job was or will be redispatched. Nothing
+		// to report — any message we could send would be rejected as stale.
+		w.logf("worker %s: job %s abandoned (lease lost)", w.cfg.ID, l.Job)
+	case err == nil:
+		// Flush the completion even if shutdown races it — the work is
+		// done, and an unflushed result would force a redispatch.
+		if cerr := w.retry(context.Background(), func(c context.Context) error {
+			return w.cfg.Queue.Complete(c, l, out)
+		}); cerr != nil && !errors.Is(cerr, ErrStaleLease) {
+			w.logf("worker %s: job %s completion upload failed: %v", w.cfg.ID, l.Job, cerr)
+		}
+	case jobCtx.Err() != nil:
+		// Graceful shutdown: the run loop already checkpointed at the
+		// cancellation point and the store uploaded it; hand the lease
+		// back so another worker resumes without burning retry budget.
+		_ = w.retry(context.Background(), func(c context.Context) error {
+			return w.cfg.Queue.Release(c, l, int(stepsDone.Load()))
+		})
+		w.logf("worker %s: job %s released at step %d (shutdown)", w.cfg.ID, l.Job, stepsDone.Load())
+	default:
+		_ = w.retry(context.Background(), func(c context.Context) error {
+			return w.cfg.Queue.Fail(c, l, err.Error())
+		})
+		w.logf("worker %s: job %s failed: %v", w.cfg.ID, l.Job, err)
+	}
+}
+
+// queueCkpt backs dsmc.JobCheckpoint with coordinator round-trips. Saves
+// retry transient failures; a stale-lease rejection aborts the job.
+type queueCkpt struct {
+	w         *Worker
+	l         *Lease
+	abandoned *atomic.Bool
+	cancel    context.CancelFunc
+	chaotic   bool
+}
+
+func (s *queueCkpt) Load() ([]byte, error) {
+	if !s.l.HasCheckpoint {
+		return nil, nil
+	}
+	var data []byte
+	err := s.w.retry(context.Background(), func(c context.Context) error {
+		var e error
+		data, e = s.w.cfg.Queue.LoadCheckpoint(c, s.l)
+		return e
+	})
+	return data, err
+}
+
+func (s *queueCkpt) Save(data []byte) error {
+	err := s.w.retry(context.Background(), func(c context.Context) error {
+		if s.chaotic && s.w.failUpload() {
+			return errInjectedUpload
+		}
+		return s.w.cfg.Queue.SaveCheckpoint(c, s.l, data)
+	})
+	if errors.Is(err, ErrStaleLease) || errors.Is(err, ErrUnknown) {
+		s.abandoned.Store(true)
+		s.cancel()
+	}
+	return err
+}
+
+// Discard is a no-op: the coordinator's copy is superseded by the next
+// Save and deleted with the job on completion.
+func (s *queueCkpt) Discard() error { return nil }
+
+// retry runs op with jittered exponential backoff on transient errors.
+// Stale-lease and unknown-job rejections are permanent (they are
+// protocol answers, not failures) and context cancellation stops the
+// loop immediately.
+func (w *Worker) retry(ctx context.Context, op func(context.Context) error) error {
+	var err error
+	for attempt := 0; attempt < 6; attempt++ {
+		ioCtx, cancel := context.WithTimeout(ctx, w.cfg.IOTimeout)
+		err = op(ioCtx)
+		cancel()
+		if err == nil || errors.Is(err, ErrStaleLease) || errors.Is(err, ErrUnknown) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		w.sleep(ctx, w.backoff(attempt+1))
+	}
+	return err
+}
+
+// backoff returns base·2^(n-1) plus up to 100% jitter, capped at
+// RetryMax. Jitter decorrelates a worker fleet hammering a coordinator
+// that just came back.
+func (w *Worker) backoff(n int) time.Duration {
+	d := w.cfg.RetryBase
+	for i := 1; i < n && d < w.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > w.cfg.RetryMax {
+		d = w.cfg.RetryMax
+	}
+	return d + w.jitter(d)
+}
+
+// jitter returns a duration in [0, d) from a per-worker xorshift stream.
+// (math/rand would work here — coord is outside the determinism-linted
+// engine — but a local generator keeps the package free of global
+// seeding questions.)
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	w.rngMu.Lock()
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	w.rngMu.Unlock()
+	return time.Duration(x % uint64(d))
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// failUpload consumes one chaos-injected upload failure, if any remain.
+func (w *Worker) failUpload() bool {
+	for {
+		n := w.chaosUploadsLeft.Load()
+		if n <= 0 {
+			return false
+		}
+		if w.chaosUploadsLeft.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}

@@ -77,6 +77,12 @@ var layerAllows = map[string][]string{
 		"dsmc/internal/molec", "dsmc/internal/rng", "dsmc/internal/sample",
 		"dsmc/internal/sim", "dsmc/internal/sim3",
 	},
+	// coord: the distributed-sweep coordinator and pull-worker. It sits
+	// ABOVE the public package — jobs are enumerated, run and assembled
+	// through the dsmc distribution surface — so it may import no
+	// internal package at all; that keeps the wire protocol honest (a
+	// worker process has exactly the information an API client has).
+	"coord": {},
 	// root: the public dsmc package — composes backends and run, but
 	// never reaches under engine's hood directly.
 	"root": {
@@ -115,6 +121,7 @@ var layerOf = map[string]string{
 	"dsmc/internal/cmsim":    "cmsim",
 	"dsmc/internal/golden":   "golden",
 	"dsmc/internal/run":      "run",
+	"dsmc/internal/coord":    "coord",
 	"dsmc":                   "root",
 }
 

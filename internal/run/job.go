@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"os"
 	"path/filepath"
 
 	"dsmc/internal/ckpt"
@@ -61,8 +60,8 @@ type ReplicaResult struct {
 
 // jobCkpt describes the checkpoint policy of one replica job.
 type jobCkpt struct {
-	path  string // "" disables checkpointing
-	every int    // steps between checkpoints (> 0 when path is set)
+	store CkptStore // nil disables checkpointing
+	every int       // steps between checkpoints (> 0 when store is set)
 }
 
 // replicaSim is the slice of engine-backend surface one replica job
@@ -154,10 +153,16 @@ func buildReplica3D[F kernel.Float](sc Scenario, seed uint64) (*replicaJob, erro
 // runReplica executes one replica of a scenario: warm to steady state,
 // then sample every step into the one-pass moment accumulator, and
 // derive the requested quantity fields at the end. With a checkpoint
-// path the job persists its progress every `every` steps and resumes
+// store the job persists its progress every `every` steps and resumes
 // exactly — the restored run is bit-identical to an uninterrupted one,
 // because the checkpoint carries the full engine, domain and accumulator
 // state and the step sequence does not depend on chunk boundaries.
+//
+// Cancellation is checked after every step, not just at chunk
+// boundaries: a cancelled job saves a checkpoint at whatever step it
+// reached (the state is consistent after any full step) and returns
+// ctx.Err(), so graceful shutdown loses no work and the resumed run is
+// still bit-identical.
 func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
 	job, err := buildReplica(sc, seed)
 	if err != nil {
@@ -167,8 +172,8 @@ func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint
 	done := 0 // steps completed, warm and sampling combined
 	total := warm + sampleSteps
 	fp := specFingerprint(sc, warm, sampleSteps)
-	if ck.path != "" {
-		restored, n, err := job.loadCheckpoint(ck.path, seed, fp)
+	if ck.store != nil {
+		restored, n, err := job.loadCheckpoint(ck.store, seed, fp)
 		if err != nil {
 			return nil, err
 		}
@@ -185,18 +190,32 @@ func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint
 			return nil, err
 		}
 		chunk := total - done
-		if ck.path != "" && ck.every > 0 && chunk > ck.every {
+		if ck.store != nil && ck.every > 0 && chunk > ck.every {
 			chunk = ck.every
 		}
+		cancelled := false
 		for k := 0; k < chunk; k++ {
 			job.sim.Step()
 			if done+k+1 > warm {
 				job.sim.SampleInto(job.acc)
 			}
+			if ctx.Err() != nil {
+				done += k + 1
+				cancelled = true
+				break
+			}
+		}
+		if cancelled {
+			// Best-effort checkpoint of the in-flight state; the job is
+			// abandoning anyway, so a failed save only costs recomputation.
+			if ck.store != nil {
+				_ = job.saveCheckpoint(ck.store, seed, fp, done)
+			}
+			return nil, ctx.Err()
 		}
 		done += chunk
-		if ck.path != "" {
-			if err := job.saveCheckpoint(ck.path, seed, fp, done); err != nil {
+		if ck.store != nil {
+			if err := job.saveCheckpoint(ck.store, seed, fp, done); err != nil {
 				return nil, err
 			}
 		}
@@ -231,37 +250,25 @@ func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint
 	return res, nil
 }
 
-// saveCheckpoint atomically writes the job state: progress counters,
-// the full simulation, and the sampling accumulator. The write goes to a
-// temp file that is fsynced before the rename, so neither a process
-// crash mid-write nor a host crash around the rename can replace a good
-// checkpoint with a torn one — and if the filesystem still delivers a
-// corrupt file, loadCheckpoint detects it by checksum and falls back
-// to a fresh (bit-identical) run rather than wedging the sweep.
-func (job *replicaJob) saveCheckpoint(path string, seed, fp uint64, done int) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := ckpt.NewWriter(f, ckpt.KindJob, job.prec, job.cells)
+// saveCheckpoint serializes the job state — progress counters, the full
+// simulation, and the sampling accumulator — and hands the bytes to the
+// store, which persists them atomically (the file store via
+// write-temp/fsync/rename, the distributed worker via an idempotent
+// upload). If the medium still delivers a corrupt buffer later,
+// loadCheckpoint detects it by checksum and falls back to a fresh
+// (bit-identical) run rather than wedging the sweep.
+func (job *replicaJob) saveCheckpoint(store CkptStore, seed, fp uint64, done int) error {
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf, ckpt.KindJob, job.prec, job.cells)
 	w.U64(seed)
 	w.U64(fp)
 	w.U64(uint64(done))
 	job.sim.CheckpointSections(w)
 	ckpt.WriteAccumulator(w, job.acc)
-	err = w.Close()
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
+	if err := w.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return store.Save(buf.Bytes())
 }
 
 // loadCheckpoint restores a job checkpoint if one exists, returning
@@ -277,19 +284,19 @@ func (job *replicaJob) saveCheckpoint(path string, seed, fp uint64, done int) er
 // is a hard error, because silently ignoring it would mask the
 // misconfiguration (or worse, serve the old spec's state as the new
 // spec's result).
-func (job *replicaJob) loadCheckpoint(path string, seed, fp uint64) (bool, int, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return false, 0, nil
-	}
+func (job *replicaJob) loadCheckpoint(store CkptStore, seed, fp uint64) (bool, int, error) {
+	data, err := store.Load()
 	if err != nil {
 		return false, 0, err
+	}
+	if data == nil {
+		return false, 0, nil
 	}
 	if !ckpt.VerifyTrailer(data) {
 		// Corrupt: discard and recompute. The whole-buffer verification
 		// runs before RestoreSections, so a bad checkpoint can never leave
 		// the simulation half-mutated.
-		os.Remove(path)
+		store.Discard()
 		return false, 0, nil
 	}
 	r, err := ckpt.NewReader(bytes.NewReader(data))
@@ -298,14 +305,14 @@ func (job *replicaJob) loadCheckpoint(path string, seed, fp uint64) (bool, int, 
 		// leftovers in a resumed sweep directory): recomputing from
 		// scratch is bit-identical to having resumed, so treat it like
 		// corruption rather than wedging the sweep.
-		os.Remove(path)
+		store.Discard()
 		return false, 0, nil
 	}
 	if err != nil {
-		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+		return false, 0, fmt.Errorf("job checkpoint: %w", err)
 	}
 	if err := ckpt.CheckShape(r, ckpt.KindJob, job.prec, job.cells); err != nil {
-		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+		return false, 0, fmt.Errorf("job checkpoint: %w", err)
 	}
 	ckSeed := r.U64()
 	ckFp := r.U64()
@@ -314,19 +321,19 @@ func (job *replicaJob) loadCheckpoint(path string, seed, fp uint64) (bool, int, 
 		return false, 0, r.Err()
 	}
 	if ckSeed != seed {
-		return false, 0, fmt.Errorf("job checkpoint %s: seed %#x does not match job seed %#x", path, ckSeed, seed)
+		return false, 0, fmt.Errorf("job checkpoint: seed %#x does not match job seed %#x", ckSeed, seed)
 	}
 	if ckFp != fp {
-		return false, 0, fmt.Errorf("job checkpoint %s: spec fingerprint %#x does not match %#x (step budget or physics parameters changed; use a fresh checkpoint directory)", path, ckFp, fp)
+		return false, 0, fmt.Errorf("job checkpoint: spec fingerprint %#x does not match %#x (step budget or physics parameters changed; use a fresh checkpoint directory)", ckFp, fp)
 	}
 	if err := job.sim.RestoreSections(r); err != nil {
-		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+		return false, 0, fmt.Errorf("job checkpoint: %w", err)
 	}
 	if err := ckpt.ReadAccumulator(r, job.acc); err != nil {
-		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+		return false, 0, fmt.Errorf("job checkpoint: %w", err)
 	}
 	if err := r.Close(); err != nil {
-		return false, 0, fmt.Errorf("job checkpoint %s: %w", path, err)
+		return false, 0, fmt.Errorf("job checkpoint: %w", err)
 	}
 	return true, done, nil
 }

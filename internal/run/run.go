@@ -101,6 +101,63 @@ func (sp *Spec) quantities() []string {
 	return sp.Quantities
 }
 
+// JobName is the canonical ID of one replica job — the same string the
+// in-process executor uses as DAG node ID and event job name, so
+// distributed runs and local runs report identical job tables.
+func JobName(scenario string, replica int) string {
+	return fmt.Sprintf("%s/r%03d", scenario, replica)
+}
+
+// AggregateName is the canonical ID of a scenario's fan-in node.
+func AggregateName(scenario string) string { return scenario + "/aggregate" }
+
+// JobIO carries the side channels of a single-job execution: the
+// checkpoint store (nil disables checkpointing), the step interval
+// between checkpoints, and the progress observer.
+type JobIO struct {
+	Ckpt     CkptStore
+	Every    int
+	Progress func(done, total int)
+}
+
+// RunJob executes exactly one replica job of a validated spec — the
+// distributed-execution entry. A coordinator enumerates the (scenario,
+// replica) pairs; pull-workers call RunJob with a checkpoint store that
+// uploads to the coordinator. The seed derivation, stepping loop and
+// checkpoint codec are the very functions the in-process Run path uses,
+// so a job executed remotely — or re-executed elsewhere after a worker
+// loss, resuming from the last uploaded checkpoint — contributes bits
+// identical to the never-failed local run.
+func RunJob(ctx context.Context, sp Spec, scenarioIdx, replica int, io JobIO) (*ReplicaResult, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if scenarioIdx < 0 || scenarioIdx >= len(sp.Scenarios) {
+		return nil, fmt.Errorf("run: scenario index %d out of range (%d scenarios)", scenarioIdx, len(sp.Scenarios))
+	}
+	if replica < 0 || replica >= sp.Replicas {
+		return nil, fmt.Errorf("run: replica %d out of range (%d replicas)", replica, sp.Replicas)
+	}
+	var ck jobCkpt
+	if io.Ckpt != nil {
+		every := io.Every
+		if every <= 0 {
+			every = 50
+		}
+		ck = jobCkpt{store: io.Ckpt, every: every}
+	}
+	seed := jobSeed(sp.BaseSeed, scenarioIdx, replica)
+	return runReplica(ctx, sp.Scenarios[scenarioIdx], sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck, io.Progress)
+}
+
+// AggregateScenario fans in one scenario's replica results — results
+// must be indexed by replica and fully populated — with the identical
+// index-order Welford merge the in-process fan-in node runs, so a
+// distributed sweep's aggregates are bit-identical to the local run's.
+func (sp *Spec) AggregateScenario(scenarioIdx int, results []*ReplicaResult) *Aggregate {
+	return aggregate(sp.Scenarios[scenarioIdx].Name, sp.quantities(), results)
+}
+
 // Result is a completed sweep: one aggregate per scenario, in scenario
 // order.
 type Result struct {
@@ -180,14 +237,14 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 		var deps []string
 		for r := 0; r < sp.Replicas; r++ {
 			r := r
-			id := fmt.Sprintf("%s/r%03d", sc.Name, r)
+			id := JobName(sc.Name, r)
 			deps = append(deps, id)
 			nodes = append(nodes, Node{
 				ID: id,
 				Run: func(ctx context.Context) error {
 					var ck jobCkpt
 					if sp.CheckpointDir != "" {
-						ck = jobCkpt{path: jobCkptPath(sp.CheckpointDir, si, r), every: ckEvery}
+						ck = jobCkpt{store: FileCkptStore{Path: jobCkptPath(sp.CheckpointDir, si, r)}, every: ckEvery}
 					}
 					seed := jobSeed(sp.BaseSeed, si, r)
 					res, err := runReplica(ctx, sc, sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck,
@@ -204,11 +261,11 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 			})
 		}
 		nodes = append(nodes, Node{
-			ID:   sc.Name + "/aggregate",
+			ID:   AggregateName(sc.Name),
 			Deps: deps,
 			Run: func(ctx context.Context) error {
 				aggs[si] = aggregate(sc.Name, sp.quantities(), results[si])
-				emit(Event{Type: EventAggregateDone, Job: sc.Name + "/aggregate", Scenario: sc.Name})
+				emit(Event{Type: EventAggregateDone, Job: AggregateName(sc.Name), Scenario: sc.Name})
 				return nil
 			},
 		})

@@ -1,0 +1,73 @@
+package run
+
+import (
+	"errors"
+	"os"
+)
+
+// CkptStore is where a replica job persists its checkpoint bytes. The
+// local path stores to a file next to the sweep spec; the distributed
+// worker uploads to the coordinator. Whatever the medium, Save must be
+// atomic from the reader's point of view: Load returns either a
+// previously completed Save or nothing, never a torn prefix. (The
+// checksum trailer inside the checkpoint catches media that break this
+// promise anyway — loadCheckpoint falls back to a fresh run.)
+type CkptStore interface {
+	// Load returns the last saved checkpoint, or nil when none exists.
+	Load() ([]byte, error)
+	// Save durably replaces the checkpoint.
+	Save(data []byte) error
+	// Discard removes a checkpoint found corrupt or stale so it is not
+	// re-read; losing it only costs recomputation.
+	Discard() error
+}
+
+// FileCkptStore persists checkpoints to one file with the
+// write-temp/fsync/rename discipline, so neither a process crash
+// mid-write nor a host crash around the rename can replace a good
+// checkpoint with a torn one.
+type FileCkptStore struct {
+	Path string
+}
+
+// Load reads the checkpoint, cleaning up an orphaned temp file a crash
+// mid-Save may have left behind (the rename never happened, so the temp
+// holds an incomplete write that must not survive into later saves).
+func (s FileCkptStore) Load() ([]byte, error) {
+	os.Remove(s.Path + ".tmp")
+	data, err := os.ReadFile(s.Path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Save implements CkptStore.
+func (s FileCkptStore) Save(data []byte) error {
+	tmp := s.Path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.Path)
+}
+
+// Discard implements CkptStore.
+func (s FileCkptStore) Discard() error {
+	err := os.Remove(s.Path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
