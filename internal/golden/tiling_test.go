@@ -1,0 +1,114 @@
+// Tiling and owner-computes bit-identity: the scatter's cell-block tile
+// width and the spatially-blocked (Regions) stepping mode are pure
+// scheduling/cache knobs, so every combination must reproduce the exact
+// recorded golden hashes — including the degenerate tiles (1 cell per
+// block maximizes block count; a tile at least the cell count collapses
+// to the untiled direct scatter) and worker counts past the host's core
+// count. The float32 instantiations have no recorded goldens (they are
+// not bit-equal to float64 by construction), so each scenario instead
+// pins every knob combination to the plain shared-store single-worker
+// run of the same precision.
+package golden_test
+
+import (
+	"testing"
+
+	"dsmc/internal/golden"
+	"dsmc/internal/kernel"
+	"dsmc/internal/sim"
+	"dsmc/internal/sim3"
+)
+
+// knobGrid is the (tile, workers, regions) cross product every scenario
+// must be invariant under: degenerate and odd tile widths, worker counts
+// below/at/above typical core counts, both stepping modes.
+var (
+	knobTiles   = []int{1, 7, 64, 1 << 20}
+	knobWorkers = []int{1, 4, 8}
+)
+
+func hash2D[F kernel.Float](t *testing.T, cfg sim.Config, steps int) uint64 {
+	t.Helper()
+	s, err := sim.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps)
+	return golden.HashSim2D(s)
+}
+
+func hash3D[F kernel.Float](t *testing.T, cfg sim3.Config, steps int) uint64 {
+	t.Helper()
+	s, err := sim3.NewOf[F](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps)
+	return golden.HashSim3D(s)
+}
+
+// TestTiling2D: every (tile, workers, regions) combination of the 2D
+// wind tunnel reproduces the recorded float64 golden, and the float32
+// instantiation is invariant across the same grid.
+func TestTiling2D(t *testing.T) {
+	const steps = 12
+	const want = 0x5fc1c3b82b975c74 // TestGolden2D/specular
+
+	base := goldenConfig2D()
+	base32 := base
+	base32.Workers = 1
+	want32 := hash2D[float32](t, base32, steps)
+
+	for _, tile := range knobTiles {
+		for _, workers := range knobWorkers {
+			for _, regions := range []bool{false, true} {
+				cfg := goldenConfig2D()
+				cfg.SortTile = tile
+				cfg.Workers = workers
+				cfg.Regions = regions
+				if got := hash2D[float64](t, cfg, steps); got != want {
+					t.Errorf("float64 tile=%d workers=%d regions=%v: hash %#016x, golden %#016x",
+						tile, workers, regions, got, want)
+				}
+				if got := hash2D[float32](t, cfg, steps); got != want32 {
+					t.Errorf("float32 tile=%d workers=%d regions=%v: hash %#016x, want %#016x",
+						tile, workers, regions, got, want32)
+				}
+			}
+		}
+	}
+}
+
+// TestTiling3D: likewise for the 3D shock tube (fused select style,
+// piston boundary, no membership changes).
+func TestTiling3D(t *testing.T) {
+	const steps = 12
+	const want = 0x5a415e622c33dc10 // TestGolden3D/rarefied
+
+	base := sim3.Config{
+		NX: 40, NY: 4, NZ: 4,
+		Cm: 0.125, Lambda: 0.5, PistonSpeed: 0.131,
+		NPerCell: 8, Seed: 99,
+		Workers: 1,
+	}
+	want32 := hash3D[float32](t, base, steps)
+
+	for _, tile := range knobTiles {
+		for _, workers := range knobWorkers {
+			for _, regions := range []bool{false, true} {
+				cfg := base
+				cfg.SortTile = tile
+				cfg.Workers = workers
+				cfg.Regions = regions
+				if got := hash3D[float64](t, cfg, steps); got != want {
+					t.Errorf("float64 tile=%d workers=%d regions=%v: hash %#016x, golden %#016x",
+						tile, workers, regions, got, want)
+				}
+				if got := hash3D[float32](t, cfg, steps); got != want32 {
+					t.Errorf("float32 tile=%d workers=%d regions=%v: hash %#016x, want %#016x",
+						tile, workers, regions, got, want32)
+				}
+			}
+		}
+	}
+}
