@@ -1,17 +1,21 @@
 // Command bench runs the key step benchmarks outside `go test` and
 // writes a machine-readable record of the performance trajectory
-// (BENCH_PR4.json): wall-clock µs/particle/step for the paper's
+// (BENCH_PR9.json): wall-clock µs/particle/step for the paper's
 // near-continuum and rarefied cases, a float32-vs-float64 precision
-// sweep over the engine backends, the worker sweep at paper scale, and
-// an ensemble-throughput case (replica jobs/minute through the
+// sweep over the engine backends, the worker sweep at paper scale, a
+// metrics-on/off pair quantifying the observability layer's overhead,
+// and an ensemble-throughput case (replica jobs/minute through the
 // run-orchestration subsystem at outer pool sizes 1 and NumCPU),
-// optionally compared against a previously recorded baseline file. The
+// optionally compared against a previously recorded baseline file.
+// Every step case also records its per-phase wall-time breakdown
+// (move+boundary/sort/select/collide), the same numbers the /metrics
+// phase histograms and the flight recorder expose at runtime. The
 // -cpuprofile/-memprofile flags capture pprof profiles of the run. The
 // record also flags whether the host is multi-core, so scaling numbers
 // from single-core CI hosts are not mistaken for the real worker-scaling
 // trajectory.
 //
-//	go run ./cmd/bench -out BENCH_PR4.json -baseline BENCH_PR3.json
+//	go run ./cmd/bench -out BENCH_PR9.json -baseline BENCH_PR8.json
 //	go run ./cmd/bench -quick   # CI smoke: few steps, still all cases
 package main
 
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"dsmc"
+	"dsmc/internal/obs"
 	"dsmc/internal/par"
 )
 
@@ -82,15 +87,24 @@ type Case struct {
 	// scheduling overhead, not outer-level scaling.
 	Jobs          int     `json:"jobs,omitempty"`
 	JobsPerMinute float64 `json:"jobs_per_minute,omitempty"`
+	// PhaseSeconds is the per-phase wall-time breakdown of the case's
+	// measured windows (cumulative over all Repeat windows) — the same
+	// move+boundary/sort/select/collide split the /metrics phase
+	// histograms record per step.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// Metrics marks the metrics-overhead pair: "on" ran with the obs
+	// record paths live, "off" with them gated out.
+	Metrics string `json:"metrics,omitempty"`
 }
 
 type stepper interface {
 	Run(n int)
 	NFlow() int
+	PhaseSeconds() map[string]float64
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier bench JSON to compute speedups against")
 	warm := flag.Int("warm", 30, "warm-up steps per case (past the initial transient)")
 	steps := flag.Int("steps", 40, "measured steps per case")
@@ -249,6 +263,11 @@ func main() {
 
 	rec.precisionSpeedups()
 
+	// Observability overhead: the paper-scale rarefied wedge with the
+	// metrics record paths on vs gated off, interleaved windows.
+	rec.addMetricsPair("metrics-overhead", 1, *warm, *steps,
+		wedge(0.5, *sweepPerCell, 1, dsmc.Float64))
+
 	// Ensemble throughput: whole-simulation replica jobs scheduled by the
 	// run-orchestration subsystem, at outer pool sizes 1 and NumCPU. This
 	// is the outer level of parallelism — it scales with cores even where
@@ -292,11 +311,25 @@ func (rec *Record) addCase(name string, prec dsmc.Precision, workers, warm, step
 	if reps < 1 {
 		reps = 1
 	}
+	p0 := s.PhaseSeconds()
 	var best time.Duration
 	for k := 0; k < reps; k++ {
 		best = fasterOf(best, k, timeWindow(s, steps))
 	}
 	rec.appendMode(name, prec, workers, s.NFlow(), float64(best.Nanoseconds())/float64(steps), tile, regions)
+	rec.Cases[len(rec.Cases)-1].PhaseSeconds = phaseDelta(p0, s.PhaseSeconds())
+}
+
+// phaseDelta subtracts two cumulative phase-time snapshots, yielding
+// the breakdown of just the windows between them.
+func phaseDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	return out
 }
 
 // timeWindow is the one measurement primitive: the wall time of `steps`
@@ -407,13 +440,46 @@ func (rec *Record) addPair(name string, workers, warm, steps int, s64, s32 stepp
 	if reps < 1 {
 		reps = 1
 	}
+	p64, p32 := s64.PhaseSeconds(), s32.PhaseSeconds()
 	var best64, best32 time.Duration
 	for k := 0; k < reps; k++ {
 		best64 = fasterOf(best64, k, timeWindow(s64, steps))
 		best32 = fasterOf(best32, k, timeWindow(s32, steps))
 	}
 	rec.append(name, dsmc.Float64, workers, s64.NFlow(), float64(best64.Nanoseconds())/float64(steps))
+	rec.Cases[len(rec.Cases)-1].PhaseSeconds = phaseDelta(p64, s64.PhaseSeconds())
 	rec.append(name+"/f32", dsmc.Float32, workers, s32.NFlow(), float64(best32.Nanoseconds())/float64(steps))
+	rec.Cases[len(rec.Cases)-1].PhaseSeconds = phaseDelta(p32, s32.PhaseSeconds())
+}
+
+// addMetricsPair measures the observability layer's overhead with the
+// same interleaved-window protocol as the precision pairs: one
+// simulation alternates metrics-on and metrics-off windows — on, off,
+// on, off, … — so slow host drift hits both modes equally and the
+// recorded difference reflects the record-path atomics, not the minute
+// each mode happened to run. The expectation pinned by the design (a
+// handful of atomic ops per step against millions of particle updates)
+// is that the pair lands within host noise of each other.
+func (rec *Record) addMetricsPair(name string, workers, warm, steps int, s stepper) {
+	s.Run(warm)
+	reps := rec.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+	defer obs.SetEnabled(true)
+	var bestOn, bestOff time.Duration
+	for k := 0; k < reps; k++ {
+		obs.SetEnabled(true)
+		bestOn = fasterOf(bestOn, k, timeWindow(s, steps))
+		obs.SetEnabled(false)
+		bestOff = fasterOf(bestOff, k, timeWindow(s, steps))
+	}
+	rec.append(name+"/on", dsmc.Float64, workers, s.NFlow(), float64(bestOn.Nanoseconds())/float64(steps))
+	rec.Cases[len(rec.Cases)-1].Metrics = "on"
+	rec.append(name+"/off", dsmc.Float64, workers, s.NFlow(), float64(bestOff.Nanoseconds())/float64(steps))
+	rec.Cases[len(rec.Cases)-1].Metrics = "off"
+	fmt.Printf("%-34s metrics overhead: %+.2f%%\n", name,
+		(float64(bestOn.Nanoseconds())/float64(bestOff.Nanoseconds())-1)*100)
 }
 
 // compare fills the baseline fields of every case whose name appears in

@@ -14,7 +14,28 @@ import (
 	"time"
 
 	"dsmc"
+	"dsmc/internal/obs"
 )
+
+// scrapeMetrics GETs /metrics and parses the exposition with the obs
+// package's tiny parser, so every scrape in these tests doubles as a
+// format-validity assertion.
+func scrapeMetrics(t *testing.T, baseURL string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics exposition did not parse: %v", err)
+	}
+	return samples
+}
 
 // TestEventsKeepalive: during a quiet phase (one long stepping chunk
 // with no progress events) the NDJSON stream must emit keepalive
@@ -39,7 +60,7 @@ func TestEventsKeepalive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var keepalives, others int
+	var keepalives, others, withWorkers int
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		var e dsmc.SweepEvent
@@ -50,6 +71,15 @@ func TestEventsKeepalive(t *testing.T) {
 			if e.Job != "" {
 				t.Fatalf("keepalive record carries a job: %q", sc.Text())
 			}
+			if e.Status == nil {
+				t.Fatalf("keepalive record has no status snapshot: %q", sc.Text())
+			}
+			if e.Status.ActiveJobs < 0 || e.Status.QueueDepth < 0 || e.Status.MaxHeartbeatAgeSec < 0 {
+				t.Fatalf("keepalive status out of range: %q", sc.Text())
+			}
+			if e.Status.Workers > 0 {
+				withWorkers++
+			}
 			keepalives++
 		} else {
 			others++
@@ -57,6 +87,9 @@ func TestEventsKeepalive(t *testing.T) {
 	}
 	if keepalives == 0 {
 		t.Errorf("stream had no keepalive records (%d other events)", others)
+	}
+	if withWorkers == 0 {
+		t.Errorf("no keepalive status ever saw the embedded worker (%d keepalives)", keepalives)
 	}
 	if st := waitDone(t, ts, id); st.State != stateDone {
 		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
@@ -175,6 +208,15 @@ func TestChaosWorkerKill(t *testing.T) {
 		t.Fatal("chaos worker did not crash in time")
 	}
 
+	// Mid-chaos scrape: the worker just died and its lease is still
+	// ticking toward expiry. The exposition must parse even now, and the
+	// lifecycle counters must already show the dispatch that is about to
+	// be fenced.
+	mid := scrapeMetrics(t, ts.URL)
+	if mid["dsmc_coord_lease_grants_total"] < 1 {
+		t.Errorf("mid-chaos scrape: lease grants %v, want >= 1", mid["dsmc_coord_lease_grants_total"])
+	}
+
 	// Healthy workers finish the sweep, resuming the dead worker's job
 	// once its lease expires.
 	for _, wid := range []string{"healthy-1", "healthy-2"} {
@@ -191,6 +233,22 @@ func TestChaosWorkerKill(t *testing.T) {
 	st := waitDone(t, ts, id)
 	if st.State != stateDone {
 		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
+	}
+
+	// Post-recovery scrape: the crash must have left its fingerprints in
+	// the coordinator telemetry — the dead worker's lease expired, the
+	// job was redispatched (a retry), and every job eventually completed.
+	after := scrapeMetrics(t, ts.URL)
+	for _, name := range []string{
+		"dsmc_coord_lease_expiries_total",
+		"dsmc_coord_retries_total",
+	} {
+		if after[name] < 1 {
+			t.Errorf("post-recovery scrape: %s = %v, want >= 1", name, after[name])
+		}
+	}
+	if got := after["dsmc_coord_completions_total"]; got < float64(spec.Replicas) {
+		t.Errorf("post-recovery scrape: completions %v, want >= %d", got, spec.Replicas)
 	}
 
 	// The event history must show the lost lease being recovered.

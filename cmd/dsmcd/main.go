@@ -14,6 +14,11 @@
 //	GET  /v1/sweeps/{id}/result   aggregated result (409 while running);
 //	                              ?quantity=temperature serves one sampled
 //	                              quantity's per-point field statistics
+//	GET  /v1/sweeps/{id}/trace    flight recorder: the most recent
+//	                              per-step engine phase timings (bounded ring)
+//	GET  /metrics                 Prometheus text exposition (engine phase
+//	                              histograms, coordinator/worker telemetry)
+//	GET  /debug/pprof/*           profiling (only with -pprof)
 //	GET  /healthz                 liveness
 //
 // A spec's base is either the legacy flat 2D config ("base") or a
@@ -68,8 +73,21 @@
 // dependents exactly like the in-process executor. GET /coord/v1/workers
 // reports the fleet.
 //
-// The NDJSON event stream emits {"type":"keepalive"} records during
-// quiet phases (every -keepalive); consumers must ignore unknown record
+// # Observability
+//
+// GET /metrics serves the Prometheus text format: per-phase engine
+// step-time histograms, coordinator lease/retry/queue telemetry, and
+// per-worker fleet gauges (external workers' engine instruments arrive
+// piggybacked on their heartbeats and are re-emitted as dsmc_fleet_*
+// with a worker label). GET /v1/sweeps/{id}/trace serves the sweep's
+// flight recorder — the most recent per-step phase timings, fed by the
+// same heartbeats — and -pprof enables net/http/pprof at /debug/pprof/.
+//
+// The NDJSON event stream emits {"type":"keepalive","status":{...}}
+// records during quiet phases (every -keepalive), carrying a
+// coordinator snapshot: active and queued jobs, worker count, and the
+// stalest heartbeat age. "trace" records carry flight-recorder batches
+// live (not replayed in history). Consumers must ignore unknown record
 // types. On SIGINT/SIGTERM the server drains: in-flight jobs checkpoint
 // their exact position and release their leases, and the HTTP listener
 // shuts down within -shutdown-timeout; a restart resumes bit-identically.
@@ -100,6 +118,7 @@ func main() {
 	maxRetries := flag.Int("max-retries", 3, "dispatch attempts per job before the sweep fails")
 	keepalive := flag.Duration("keepalive", 15*time.Second, "NDJSON event-stream keepalive interval")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline for the HTTP server")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 
 	workerMode := flag.Bool("worker", false, "run as a pull-worker against -coord instead of serving")
 	coordURL := flag.String("coord", "http://127.0.0.1:8077", "coordinator base URL (worker mode)")
@@ -128,6 +147,7 @@ func main() {
 		heartbeat:  *heartbeat,
 		maxRetries: *maxRetries,
 		keepalive:  *keepalive,
+		pprof:      *pprofOn,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dsmc"
+)
+
+// TestMetricsEndpoint: after a sweep runs through embedded workers,
+// GET /metrics must serve parseable Prometheus text covering all three
+// telemetry layers — engine phase histograms, coordinator lifecycle
+// counters and queue gauges, and the per-worker fleet rows fed by
+// heartbeat-piggybacked snapshots.
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := newServer(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	id := submit(t, ts, tinySpec())
+	if st := waitDone(t, ts, id); st.State != stateDone {
+		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
+	}
+
+	samples := scrapeMetrics(t, ts.URL)
+
+	// Engine layer: one histogram child per pipeline phase, counting
+	// every step taken by the embedded workers' simulations.
+	for _, phase := range dsmc.StepPhases {
+		key := fmt.Sprintf("dsmc_engine_phase_seconds_count{phase=%q}", phase)
+		if samples[key] < 1 {
+			t.Errorf("%s = %v, want >= 1", key, samples[key])
+		}
+	}
+	if samples["dsmc_engine_steps_total"] < 1 {
+		t.Errorf("dsmc_engine_steps_total = %v, want >= 1", samples["dsmc_engine_steps_total"])
+	}
+
+	// Coordinator layer: the sweep's two replica jobs were leased and
+	// completed; the queue drained.
+	for name, min := range map[string]float64{
+		"dsmc_coord_lease_grants_total": 2,
+		"dsmc_coord_completions_total":  2,
+		"dsmc_coord_heartbeats_total":   1,
+		"dsmc_coord_job_seconds_count":  2,
+		"dsmc_coord_workers":            1,
+	} {
+		if samples[name] < min {
+			t.Errorf("%s = %v, want >= %v", name, samples[name], min)
+		}
+	}
+	if got, ok := samples["dsmc_coord_queue_depth"]; !ok || got != 0 {
+		t.Errorf("dsmc_coord_queue_depth = %v (present=%v), want 0 after completion", got, ok)
+	}
+
+	// Fleet layer: per-worker heartbeat ages and the re-emitted engine
+	// snapshots, both labelled by worker.
+	var ages, fleet int
+	for key := range samples {
+		if strings.HasPrefix(key, "dsmc_coord_worker_heartbeat_age_seconds{worker=") {
+			ages++
+		}
+		if strings.HasPrefix(key, "dsmc_fleet_engine_") {
+			fleet++
+		}
+	}
+	if ages == 0 {
+		t.Error("no per-worker heartbeat-age rows in the scrape")
+	}
+	if fleet == 0 {
+		t.Error("no dsmc_fleet_engine_* rows: worker snapshots were not re-emitted")
+	}
+}
+
+// TestTraceEndpoint: the flight recorder must capture per-step phase
+// timings flowing from the engine through worker heartbeats to the
+// coordinator, and serve them at /v1/sweeps/{id}/trace.
+func TestTraceEndpoint(t *testing.T) {
+	s, err := newServer(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	spec := tinySpec()
+	spec.CheckpointEvery = 2 // frequent progress heartbeats carry the batches
+	id := submit(t, ts, spec)
+	if st := waitDone(t, ts, id); st.State != stateDone {
+		t.Fatalf("sweep state %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: %s", resp.Status)
+	}
+	var view struct {
+		Sweep  string        `json:"sweep"`
+		Phases [4]string     `json:"phases"`
+		Trace  []traceRecord `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Sweep != id || view.Phases != dsmc.StepPhases {
+		t.Fatalf("trace header: sweep=%q phases=%v", view.Sweep, view.Phases)
+	}
+	if len(view.Trace) == 0 {
+		t.Fatal("flight recorder is empty after the sweep")
+	}
+	for _, rec := range view.Trace {
+		if rec.Job == "" {
+			t.Fatalf("trace record without a job: %+v", rec)
+		}
+		if rec.Particles <= 0 {
+			t.Fatalf("trace record without particles: %+v", rec)
+		}
+		var total int64
+		for _, ns := range rec.PhaseNs {
+			if ns < 0 {
+				t.Fatalf("negative phase time: %+v", rec)
+			}
+			total += ns
+		}
+		if total <= 0 {
+			t.Fatalf("trace record with zero phase time: %+v", rec)
+		}
+	}
+
+	// An unknown sweep 404s like every other per-sweep endpoint.
+	resp404, err := http.Get(ts.URL + "/v1/sweeps/sw-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace on unknown sweep: %s, want 404", resp404.Status)
+	}
+}

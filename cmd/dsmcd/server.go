@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 
 	"dsmc"
 	"dsmc/internal/coord"
+	"dsmc/internal/obs"
 )
 
 // sweepState is the lifecycle of a submitted sweep.
@@ -56,7 +58,26 @@ type sweepRun struct {
 	subs   map[chan dsmc.SweepEvent]struct{}
 	done   chan struct{}
 	result *dsmc.SweepResult
+
+	// The flight recorder: a bounded ring of the sweep's most recent
+	// per-step phase timings, fed by "trace" events (worker heartbeat
+	// batches) and served at /v1/sweeps/{id}/trace. Trace events fan out
+	// to live NDJSON subscribers but are kept out of the replayable
+	// history — the recorder is a window, not an archive.
+	traceRing []traceRecord
+	traceNext int // overwrite cursor once the ring is full
 }
+
+// traceRecord is one flight-recorder entry: which job the step belongs
+// to plus the engine's per-phase timings for it.
+type traceRecord struct {
+	Job string `json:"job"`
+	dsmc.StepTrace
+}
+
+// traceRingCap bounds the flight recorder's memory per sweep: 1024
+// records ≈ 48 KiB, a few minutes of recent stepping at typical rates.
+const traceRingCap = 1024
 
 // statusView is the JSON shape of GET /v1/sweeps/{id}.
 type statusView struct {
@@ -90,6 +111,7 @@ type statusView struct {
 type server struct {
 	dataDir string
 	pool    int
+	pprof   bool
 
 	coord     *coord.Coordinator
 	keepalive time.Duration
@@ -111,6 +133,7 @@ type serverOpts struct {
 	heartbeat  time.Duration // embedded-worker heartbeat (0 = 2s)
 	maxRetries int           // dispatch attempts per job (0 = 3)
 	keepalive  time.Duration // NDJSON keepalive interval (0 = 15s)
+	pprof      bool          // serve net/http/pprof under /debug/pprof/
 }
 
 func newServer(dataDir string, pool int) (*server, error) {
@@ -133,6 +156,7 @@ func newServerWith(opts serverOpts) (*server, error) {
 	s := &server{
 		dataDir:   opts.dataDir,
 		pool:      opts.workers,
+		pprof:     opts.pprof,
 		keepalive: opts.keepalive,
 		sweeps:    map[string]*sweepRun{},
 	}
@@ -300,6 +324,27 @@ func (s *server) execute(run *sweepRun) {
 func (r *sweepRun) observe(e dsmc.SweepEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if e.Type == "trace" {
+		// Feed the flight recorder and fan out live, but skip the job
+		// table and the replayable history: trace batches are bulky and
+		// only the recent window is interesting.
+		for _, tr := range e.Trace {
+			rec := traceRecord{Job: e.Job, StepTrace: tr}
+			if len(r.traceRing) < traceRingCap {
+				r.traceRing = append(r.traceRing, rec)
+			} else {
+				r.traceRing[r.traceNext] = rec
+				r.traceNext = (r.traceNext + 1) % traceRingCap
+			}
+		}
+		for ch := range r.subs {
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+		return
+	}
 	r.events = append(r.events, e)
 	js := r.jobs[e.Job]
 	if js == nil {
@@ -364,6 +409,16 @@ func (r *sweepRun) subscribe(buf int) (history []dsmc.SweepEvent, ch chan dsmc.S
 	}
 }
 
+// traceSnapshot returns the flight recorder's contents, oldest first.
+func (r *sweepRun) traceSnapshot() []traceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]traceRecord, 0, len(r.traceRing))
+	out = append(out, r.traceRing[r.traceNext:]...)
+	out = append(out, r.traceRing[:r.traceNext]...)
+	return out
+}
+
 func (r *sweepRun) status() statusView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -375,6 +430,7 @@ func (r *sweepRun) status() statusView {
 		Links: map[string]string{
 			"events": "/v1/sweeps/" + r.ID + "/events",
 			"result": "/v1/sweeps/" + r.ID + "/result",
+			"trace":  "/v1/sweeps/" + r.ID + "/trace",
 		},
 	}
 	if v.Points == 0 {
@@ -398,9 +454,47 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The coordinator protocol, for external `dsmcd -worker` processes.
 	mux.Handle("/coord/v1/", s.coord.Handler())
+	if s.pprof {
+		// Opt-in: profiling endpoints reveal internals and cost CPU when
+		// scraped, so they ride behind the -pprof flag.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics is the Prometheus scrape endpoint: the process-global
+// registry (engine phase histograms, coordinator/worker lifecycle
+// counters) followed by the coordinator's instance-shaped telemetry
+// (queue gauges, per-worker heartbeat ages, fleet re-emission).
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default.WriteText(w); err != nil {
+		return
+	}
+	s.coord.WriteMetrics(w)
+}
+
+// handleTrace serves the sweep's flight recorder: the most recent
+// per-step phase timings (bounded ring, oldest first) with the phase
+// name table that indexes each record's phase_ns array.
+func (s *server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	run := s.lookup(w, req)
+	if run == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweep":  run.ID,
+		"phases": dsmc.StepPhases,
+		"trace":  run.traceSnapshot(),
+	})
 }
 
 // handleSubmit accepts a SweepSpec as JSON, validates it, persists it
@@ -468,6 +562,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		"status": "/v1/sweeps/" + id,
 		"events": "/v1/sweeps/" + id + "/events",
 		"result": "/v1/sweeps/" + id + "/result",
+		"trace":  "/v1/sweeps/" + id + "/trace",
 	})
 }
 
@@ -519,10 +614,13 @@ func (s *server) handleStatus(w http.ResponseWriter, req *http.Request) {
 // handleEvents streams the sweep's progress as NDJSON: the buffered
 // history first, then live events until the sweep finishes or the
 // client goes away. During quiet phases (long warm-up chunks, a stalled
-// worker being timed out) the stream emits a keepalive record —
-// {"type":"keepalive","job":""} — every keepalive interval, so clients
-// and intermediaries can distinguish a slow sweep from a dead
-// connection. Consumers must ignore record types they do not know.
+// worker being timed out) the stream emits a keepalive record every
+// keepalive interval — {"type":"keepalive","status":{...}} with a
+// coordinator snapshot (active/queued jobs, worker count, heartbeat
+// staleness) — so clients and intermediaries can distinguish a slow
+// sweep from a dead connection and see why it is quiet. "trace" records
+// (flight-recorder batches) appear live but are not replayed in the
+// history. Consumers must ignore record types they do not know.
 func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	run := s.lookup(w, req)
 	if run == nil {
@@ -555,7 +653,11 @@ func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			}
 			keepalive.Reset(s.keepalive)
 		case <-keepalive.C:
-			if enc.Encode(dsmc.SweepEvent{Type: "keepalive"}) != nil {
+			// Keepalives double as status beacons: the coordinator
+			// snapshot tells a quiet stream's consumer whether jobs are
+			// leased out, queued, and how stale the fleet's heartbeats are.
+			st := s.coord.Stats()
+			if enc.Encode(dsmc.SweepEvent{Type: "keepalive", Status: &st}) != nil {
 				return
 			}
 			if flusher != nil {

@@ -85,6 +85,21 @@ type JobCheckpoint interface {
 	Discard() error
 }
 
+// StepTrace is one completed engine step's flight-recorder record:
+// the step index, that step's wall time per pipeline phase in
+// nanoseconds (indexed like StepPhases), and the flow's particle
+// count. The timings come from the engine's existing phase-time
+// chokepoint — observing them adds no clock reads and cannot perturb
+// results.
+type StepTrace struct {
+	Step      int      `json:"step"`
+	PhaseNs   [4]int64 `json:"phase_ns"`
+	Particles int      `json:"particles"`
+}
+
+// StepPhases names the four pipeline phases, indexing StepTrace.PhaseNs.
+var StepPhases = [4]string{"move+boundary", "sort", "select", "collide"}
+
 // SweepJobIO carries the side channels of a single-job execution.
 type SweepJobIO struct {
 	// Checkpoint, when non-nil, makes the job resumable: state is saved
@@ -97,6 +112,10 @@ type SweepJobIO struct {
 	// Progress observes (stepsDone, stepsTotal) at start, after every
 	// checkpoint interval, and at completion.
 	Progress func(done, total int)
+	// OnStepTrace, when non-nil, observes every completed step's phase
+	// timings — the flight-recorder feed. Called on the stepping
+	// goroutine; implementations must be fast and must not block.
+	OnStepTrace func(StepTrace)
 }
 
 // RunSweepJob executes exactly one replica job of a sweep — the unit a
@@ -117,6 +136,11 @@ func RunSweepJob(ctx context.Context, spec SweepSpec, point, replica int, io Swe
 	jio := run.JobIO{Every: every, Progress: io.Progress}
 	if io.Checkpoint != nil {
 		jio.Ckpt = io.Checkpoint
+	}
+	if trace := io.OnStepTrace; trace != nil {
+		jio.StepTrace = func(step int, phaseNs [4]int64, particles int) {
+			trace(StepTrace{Step: step, PhaseNs: phaseNs, Particles: particles})
+		}
 	}
 	res, err := run.RunJob(ctx, sp, point, replica, jio)
 	if err != nil {

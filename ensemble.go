@@ -166,15 +166,33 @@ type SweepResult struct {
 }
 
 // SweepEvent is one observation of sweep progress, delivered serially
-// to the RunSweep observer.
+// to the RunSweep observer. The distributed server reuses the type on
+// its NDJSON stream for two additional event kinds: "trace" events
+// carry a batch of flight-recorder records from a running job, and
+// "keepalive" events carry a coordinator status snapshot.
 type SweepEvent struct {
 	Type       string `json:"type"`
-	Job        string `json:"job"`
+	Job        string `json:"job,omitempty"`
 	Scenario   string `json:"scenario,omitempty"`
 	Replica    int    `json:"replica,omitempty"`
 	StepsDone  int    `json:"steps_done,omitempty"`
 	StepsTotal int    `json:"steps_total,omitempty"`
 	Err        string `json:"err,omitempty"`
+	// Trace carries per-step phase timings on "trace" events (a small
+	// recent batch, piggybacked on worker heartbeats).
+	Trace []StepTrace `json:"trace,omitempty"`
+	// Status is the coordinator snapshot attached to "keepalive" events.
+	Status *SweepStatus `json:"status,omitempty"`
+}
+
+// SweepStatus is a point-in-time coordinator snapshot: how many jobs
+// are leased out, how many are waiting, how many workers have reported
+// in, and the staleness of the oldest live heartbeat.
+type SweepStatus struct {
+	ActiveJobs         int     `json:"active_jobs"`
+	QueueDepth         int     `json:"queue_depth"`
+	Workers            int     `json:"workers"`
+	MaxHeartbeatAgeSec float64 `json:"max_heartbeat_age_sec"`
 }
 
 // errOverride formats the standard knob-not-in-scenario error.

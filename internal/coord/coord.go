@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dsmc"
+	"dsmc/internal/obs"
 )
 
 // Config parameterizes a Coordinator. The zero value works for tests:
@@ -72,6 +73,10 @@ type job struct {
 	phase    jobPhase
 	attempts int // dispatches consumed against MaxAttempts
 
+	// dispatchedAt stamps the current lease's grant, feeding the
+	// dispatch-to-complete latency histogram when the job completes.
+	dispatchedAt time.Time
+
 	// lease is the current lease while jobLeased; after jobDone it keeps
 	// the winning lease ID so a redelivered Complete from the winner is
 	// acked while any other lease is rejected.
@@ -109,6 +114,9 @@ type workerState struct {
 	sweep, job string // current lease, if any
 	stepsDone  int
 	stepsTotal int
+	// metrics is the worker's last heartbeat-piggybacked instrument
+	// snapshot, re-emitted by WriteMetrics under dsmc_fleet_*.
+	metrics []obs.Sample
 }
 
 // New builds a Coordinator.
@@ -213,6 +221,8 @@ func (c *Coordinator) Poll(workerID string) (*Lease, error) {
 			j.leaseWorker = workerID
 			j.expires = now.Add(c.cfg.LeaseTTL)
 			j.heartbeats = 0
+			j.dispatchedAt = now
+			mLeaseGrants.Inc()
 			w := c.workers[workerID]
 			w.sweep, w.job = st.id, j.id
 			w.stepsDone, w.stepsTotal = j.stepsDone, j.stepsTotal
@@ -241,12 +251,18 @@ func (c *Coordinator) HandleHeartbeat(hb Heartbeat) (string, error) {
 	now := c.cfg.now()
 	c.expireLocked(now)
 	c.touchWorker(hb.Worker, now)
+	mHeartbeats.Inc()
+	if len(hb.Metrics) > 0 {
+		c.workers[hb.Worker].metrics = hb.Metrics
+	}
 
 	st, j, err := c.lookupLocked(hb.Sweep, hb.Job)
 	if err != nil {
+		mStaleRejects.Inc()
 		return HBAbandon, nil // sweep evicted or unknown: stop working
 	}
 	if j.phase != jobLeased || j.lease != hb.Lease {
+		mStaleRejects.Inc()
 		return HBAbandon, nil
 	}
 	j.expires = now.Add(c.cfg.LeaseTTL)
@@ -261,6 +277,16 @@ func (c *Coordinator) HandleHeartbeat(hb Heartbeat) (string, error) {
 		c.emitLocked(st.id, dsmc.SweepEvent{
 			Type: "job-progress", Job: j.id, Scenario: st.names[j.point], Replica: j.replica,
 			StepsDone: hb.StepsDone, StepsTotal: j.stepsTotal,
+		})
+	}
+	// A trace batch from the live lease holder fans out as a "trace"
+	// event — the flight-recorder feed. Batches from stale leases never
+	// reach here, so a redispatched job's recorder shows one worker's
+	// timeline at a time.
+	if len(hb.Trace) > 0 {
+		c.emitLocked(st.id, dsmc.SweepEvent{
+			Type: "trace", Job: j.id, Scenario: st.names[j.point], Replica: j.replica,
+			Trace: hb.Trace,
 		})
 	}
 	return HBOK, nil
@@ -280,6 +306,7 @@ func (c *Coordinator) SaveCheckpoint(sweep, jobID, lease string, data []byte) er
 		return err
 	}
 	if j.phase != jobLeased || j.lease != lease {
+		mStaleRejects.Inc()
 		return ErrStaleLease
 	}
 	if c.cfg.DataDir == "" {
@@ -309,6 +336,7 @@ func (c *Coordinator) LoadCheckpoint(sweep, jobID, lease string) ([]byte, error)
 		return nil, err
 	}
 	if j.phase != jobLeased || j.lease != lease {
+		mStaleRejects.Inc()
 		return nil, ErrStaleLease
 	}
 	if c.cfg.DataDir == "" {
@@ -337,12 +365,17 @@ func (c *Coordinator) Complete(sweep, jobID, lease string, out *dsmc.ReplicaOutp
 		return nil // duplicate delivery of the winning completion
 	}
 	if j.phase != jobLeased || j.lease != lease {
+		mStaleRejects.Inc()
 		return ErrStaleLease
 	}
 	j.phase = jobDone
 	j.stepsDone = j.stepsTotal
 	j.output = out
 	j.ckpt = nil
+	mCompletions.Inc()
+	if !j.dispatchedAt.IsZero() {
+		mJobSeconds.Observe(now.Sub(j.dispatchedAt).Seconds())
+	}
 	c.clearWorkerJob(j.leaseWorker, now)
 	c.emitLocked(st.id, dsmc.SweepEvent{Type: "job-done", Job: j.id})
 	c.maybeAggregateLocked(st, j.point)
@@ -364,8 +397,10 @@ func (c *Coordinator) Release(sweep, jobID, lease string, stepsDone int) error {
 		return err
 	}
 	if j.phase != jobLeased || j.lease != lease {
+		mStaleRejects.Inc()
 		return ErrStaleLease
 	}
+	mReleases.Inc()
 	j.phase = jobPending
 	j.attempts-- // voluntary hand-back does not burn retry budget
 	j.lease = ""
@@ -390,6 +425,7 @@ func (c *Coordinator) Fail(sweep, jobID, lease, msg string) error {
 		return err
 	}
 	if j.phase != jobLeased || j.lease != lease {
+		mStaleRejects.Inc()
 		return ErrStaleLease
 	}
 	c.clearWorkerJob(j.leaseWorker, now)
@@ -442,6 +478,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		}
 		for _, j := range st.jobs {
 			if j.phase == jobLeased && now.After(j.expires) {
+				mLeaseExpiries.Inc()
 				c.clearWorkerJob(j.leaseWorker, now)
 				c.retryOrFailLocked(st, j, fmt.Sprintf("lease expired (worker %s lost)", j.leaseWorker))
 			}
@@ -455,6 +492,7 @@ func (c *Coordinator) retryOrFailLocked(st *sweepState, j *job, msg string) {
 	j.lease = ""
 	j.leaseWorker = ""
 	if j.attempts < c.cfg.MaxAttempts {
+		mRetries.Inc()
 		j.phase = jobPending
 		c.emitLocked(st.id, dsmc.SweepEvent{
 			Type: "job-lost", Job: j.id, StepsDone: j.stepsDone, StepsTotal: j.stepsTotal,
@@ -463,6 +501,7 @@ func (c *Coordinator) retryOrFailLocked(st *sweepState, j *job, msg string) {
 		return
 	}
 	j.phase = jobFailed
+	mJobFailures.Inc()
 	err := fmt.Sprintf("%s; retry budget exhausted (%d attempts)", msg, j.attempts)
 	c.emitLocked(st.id, dsmc.SweepEvent{Type: "job-failed", Job: j.id, Err: err})
 	if !st.failed {

@@ -45,6 +45,7 @@ import (
 	"sort"
 
 	"dsmc"
+	"dsmc/internal/obs"
 )
 
 // Sentinel errors of the coordinator API. The HTTP layer maps them to
@@ -79,7 +80,12 @@ type Lease struct {
 }
 
 // Heartbeat carries a worker's liveness and step progress for its
-// current lease.
+// current lease, plus two optional telemetry piggybacks: a compact
+// snapshot of the worker's engine instruments (re-emitted by the
+// coordinator's /metrics with a worker label) and the recent
+// flight-recorder batch (fanned out as "trace" events). Both ride the
+// heartbeat the worker already sends, so telemetry costs no extra
+// round-trips and stops flowing exactly when liveness does.
 type Heartbeat struct {
 	Worker     string `json:"worker"`
 	Sweep      string `json:"sweep"`
@@ -87,6 +93,9 @@ type Heartbeat struct {
 	Lease      string `json:"lease"`
 	StepsDone  int    `json:"steps_done"`
 	StepsTotal int    `json:"steps_total"`
+
+	Metrics []obs.Sample     `json:"metrics,omitempty"`
+	Trace   []dsmc.StepTrace `json:"trace,omitempty"`
 }
 
 // Heartbeat responses.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dsmc"
+	"dsmc/internal/obs"
 )
 
 // Queue is the worker's view of a coordinator: the in-process LocalQueue
@@ -78,6 +79,10 @@ type WorkerConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// maxTraceBatch bounds the flight-recorder records a single heartbeat
+// carries; older records are dropped, keeping heartbeats small.
+const maxTraceBatch = 16
+
 // Worker pulls jobs from a coordinator and runs them with
 // dsmc.RunSweepJob, heartbeating and uploading checkpoints as it goes.
 type Worker struct {
@@ -128,11 +133,13 @@ func (w *Worker) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		mWorkerPolls.Inc()
 		lease, err := w.cfg.Queue.Poll(ctx, w.cfg.ID)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			mWorkerPollErrors.Inc()
 			pollFails++
 			w.sleep(ctx, w.backoff(pollFails))
 			continue
@@ -149,6 +156,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // runJob executes one leased job end to end.
 func (w *Worker) runJob(ctx context.Context, l *Lease) {
 	w.jobsSeen++
+	mWorkerJobs.Inc()
 	chaotic := w.jobsSeen == 1 // fault injection targets a worker's first job
 
 	var spec dsmc.SweepSpec
@@ -164,8 +172,24 @@ func (w *Worker) runJob(ctx context.Context, l *Lease) {
 	var abandoned atomic.Bool
 	var stepsDone atomic.Int64
 
-	// sendHB heartbeats the current progress; a stale lease answer
-	// cancels the job immediately so no further work is wasted.
+	// The flight-recorder buffer: the stepping goroutine appends one
+	// record per engine step, the next heartbeat drains the batch to the
+	// coordinator. Bounded — under slow heartbeats only the most recent
+	// maxTraceBatch steps survive, which is the recorder's contract.
+	var traceMu sync.Mutex
+	var traceBuf []dsmc.StepTrace
+	takeTrace := func() []dsmc.StepTrace {
+		traceMu.Lock()
+		defer traceMu.Unlock()
+		out := traceBuf
+		traceBuf = nil
+		return out
+	}
+
+	// sendHB heartbeats the current progress, piggybacking the recent
+	// trace batch and a compact engine-instrument snapshot; a stale
+	// lease answer cancels the job immediately so no further work is
+	// wasted.
 	sendHB := func(done int) {
 		if chaotic && w.cfg.Chaos.DropHeartbeats {
 			return
@@ -174,6 +198,8 @@ func (w *Worker) runJob(ctx context.Context, l *Lease) {
 		status, err := w.cfg.Queue.Heartbeat(hbCtx, Heartbeat{
 			Worker: w.cfg.ID, Sweep: l.Sweep, Job: l.Job, Lease: l.LeaseID,
 			StepsDone: done, StepsTotal: l.StepsTotal,
+			Metrics: obs.Default.Snapshot("dsmc_engine_"),
+			Trace:   takeTrace(),
 		})
 		cancelHB()
 		if err == nil && status == HBAbandon {
@@ -204,6 +230,15 @@ func (w *Worker) runJob(ctx context.Context, l *Lease) {
 	store := &queueCkpt{w: w, l: l, abandoned: &abandoned, cancel: cancel, chaotic: chaotic}
 	out, err := dsmc.RunSweepJob(jobCtx, spec, l.Point, l.Replica, dsmc.SweepJobIO{
 		Checkpoint: store,
+		OnStepTrace: func(tr dsmc.StepTrace) {
+			traceMu.Lock()
+			if len(traceBuf) >= maxTraceBatch {
+				copy(traceBuf, traceBuf[1:])
+				traceBuf = traceBuf[:maxTraceBatch-1]
+			}
+			traceBuf = append(traceBuf, tr)
+			traceMu.Unlock()
+		},
 		Progress: func(done, total int) {
 			stepsDone.Store(int64(done))
 			if chaotic && w.cfg.Chaos.KillAfterSteps > 0 && done >= w.cfg.Chaos.KillAfterSteps {
@@ -302,6 +337,7 @@ func (w *Worker) retry(ctx context.Context, op func(context.Context) error) erro
 		if ctx.Err() != nil {
 			return err
 		}
+		mWorkerIORetries.Inc()
 		w.sleep(ctx, w.backoff(attempt+1))
 	}
 	return err

@@ -26,11 +26,37 @@ import (
 	"dsmc/internal/baseline"
 	"dsmc/internal/collide"
 	"dsmc/internal/kernel"
+	"dsmc/internal/obs"
 	"dsmc/internal/par"
 	"dsmc/internal/particle"
 	"dsmc/internal/rng"
 	"dsmc/internal/sample"
 )
+
+// Engine metrics live on the process-wide registry and are shared by
+// every engine instance (a sweep runs many replicas in one process):
+// counters accumulate across instances; the particle gauge reflects
+// whichever engine stepped last. The instruments are resolved here,
+// once — the record path in Step holds pointers and performs only
+// atomic operations, so the AllocsPerRun zero-allocation pins and the
+// bit-identity goldens hold with metrics enabled. No clock is read
+// for metrics: the per-phase histograms observe the same durations
+// the phaseTime breakdown already books through the now()/since()
+// chokepoint.
+var (
+	mSteps      = obs.Default.NewCounter("dsmc_engine_steps_total", "Completed time steps across all engine instances.")
+	mCollisions = obs.Default.NewCounter("dsmc_engine_collisions_total", "Collisions performed across all engine instances.")
+	mParticles  = obs.Default.NewGauge("dsmc_engine_particles", "Particles in flow of the most recently stepped engine.")
+	mPhase      [numPhases]*obs.Histogram
+)
+
+func init() {
+	for p := Phase(0); p < numPhases; p++ {
+		mPhase[p] = obs.Default.NewHistogram("dsmc_engine_phase_seconds",
+			"Per-step wall time of one pipeline phase.",
+			obs.DurationBuckets, obs.L{K: "phase", V: p.String()})
+	}
+}
 
 // Phase identifies one of the four sub-steps for timing breakdowns.
 type Phase int
@@ -183,6 +209,12 @@ type Engine[F kernel.Float] struct {
 	collisions int64
 	phaseTime  [numPhases]time.Duration
 
+	// stepObs, when set, receives each completed step's phase-time
+	// deltas (the flight-recorder feed); prevColl tracks the collision
+	// counter between steps so the metrics see per-step increments.
+	stepObs  func(step int, phaseNs [numPhases]int64, particles int)
+	prevColl int64
+
 	// Prebuilt shard bodies: building them once keeps the pool dispatch
 	// in Step allocation-free (a func literal created per call would
 	// escape to the heap).
@@ -333,6 +365,9 @@ func (e *Engine[F]) Rule() collide.Rule { return e.cfg.Rule }
 func (e *Engine[F]) RestoreCounters(step int, collisions int64) {
 	e.step = step
 	e.collisions = collisions
+	// Resync the metrics baseline: the restored total is not new work,
+	// and a backward jump must not wrap the per-step counter delta.
+	e.prevColl = collisions
 	// The restored store's layout owes nothing to the current region
 	// bounds; the next sort rebuilds them (equal-block fallback for one
 	// pass — bit-identical, see haveBounds).
@@ -361,10 +396,22 @@ func (e *Engine[F]) PhaseTimes() map[string]time.Duration {
 	return out
 }
 
+// SetStepObserver registers fn to be called at the end of every Step
+// with the step index just completed, that step's per-phase wall times
+// in nanoseconds (indexed by Phase), and the flow's particle count —
+// the feed behind the flight recorder. fn runs on the stepping
+// goroutine and must not allocate or block; nil unregisters. The
+// observer reuses durations already booked through the now()/since()
+// chokepoint, so it adds no clock reads and cannot move bits.
+func (e *Engine[F]) SetStepObserver(fn func(step int, phaseNs [numPhases]int64, particles int)) {
+	e.stepObs = fn
+}
+
 // Step advances the simulation one time step through the four sub-steps.
 //
 //dsmc:hotpath
 func (e *Engine[F]) Step() {
+	prev := e.phaseTime
 	t0 := now()
 	e.moveBoundaries()
 	t1 := now()
@@ -375,6 +422,31 @@ func (e *Engine[F]) Step() {
 	e.selectAndCollide()
 	e.dom.PostStep()
 	e.step++
+	e.recordStep(prev)
+}
+
+// recordStep publishes the completed step to the metrics registry and
+// the step observer: per-phase deltas against the pre-step snapshot of
+// the cumulative phaseTime breakdown (no additional clock reads), the
+// collision increment, and the particle count. All record calls are
+// atomic and allocation-free (pinned by obs's and this package's
+// AllocsPerRun tests).
+//
+//dsmc:hotpath
+func (e *Engine[F]) recordStep(prev [numPhases]time.Duration) {
+	var ns [numPhases]int64
+	for p := range ns {
+		ns[p] = int64(e.phaseTime[p] - prev[p])
+		mPhase[p].Observe(float64(ns[p]) / 1e9)
+	}
+	n := e.store.Len()
+	mSteps.Inc()
+	mParticles.Set(float64(n))
+	mCollisions.Add(uint64(e.collisions - e.prevColl))
+	e.prevColl = e.collisions
+	if e.stepObs != nil {
+		e.stepObs(e.step-1, ns, n)
+	}
 }
 
 // Run advances n steps.

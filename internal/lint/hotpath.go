@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -17,10 +18,19 @@ const hotpathMarker = "//dsmc:hotpath"
 
 // HotpathAlloc flags allocation sources inside functions marked
 // //dsmc:hotpath: make, new, closure literals (func literals created
-// per call escape to the heap), and append onto slices the function did
-// not visibly preallocate. Amortized grow paths — a scratch buffer that
-// re-makes itself when it is outgrown once and is stable after — are
-// legitimate and should carry a //dsmclint:allow waiver saying so.
+// per call escape to the heap), append onto slices the function did
+// not visibly preallocate, string concatenation, and calls into
+// package fmt (formatting allocates and boxes every operand). Plain
+// method calls are accepted — in particular the obs registry's atomic
+// metric increments (Counter.Inc/Add, Gauge.Set, Histogram.Observe)
+// are the sanctioned way to instrument a hot path: the instruments
+// are resolved at construction time and the record path is
+// allocation-free by obs's own AllocsPerRun test. Metric names must
+// therefore be constants too — a formatted or concatenated name on
+// the record path is exactly what the string checks catch. Amortized
+// grow paths — a scratch buffer that re-makes itself when it is
+// outgrown once and is stable after — are legitimate and should carry
+// a //dsmclint:allow waiver saying so.
 type HotpathAlloc struct{}
 
 // Name implements Rule.
@@ -28,7 +38,7 @@ func (HotpathAlloc) Name() string { return "hotpath-alloc" }
 
 // Doc implements Rule.
 func (HotpathAlloc) Doc() string {
-	return "no allocation sources (make/new/closures/unpreallocated append) in //dsmc:hotpath functions"
+	return "no allocation sources (make/new/closures/unpreallocated append/string building) in //dsmc:hotpath functions"
 }
 
 // Check implements Rule.
@@ -81,6 +91,9 @@ func (h HotpathAlloc) checkFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				diag(n.Pos(), "string concatenation in hot path %s allocates; build names at construction time", name)
+			}
 			for i, lhs := range n.Lhs {
 				id, ok := lhs.(*ast.Ident)
 				if !ok || i >= len(n.Rhs) {
@@ -89,6 +102,10 @@ func (h HotpathAlloc) checkFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 				if preallocates(pkg, prealloc, n.Rhs[i]) {
 					prealloc[id.Name] = true
 				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n) {
+				diag(n.Pos(), "string concatenation in hot path %s allocates; build names at construction time", name)
 			}
 		case *ast.FuncLit:
 			diag(n.Pos(), "closure literal in hot path %s allocates per call; prebuild it at construction time", name)
@@ -104,11 +121,27 @@ func (h HotpathAlloc) checkFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 				if !isIdent || !prealloc[id.Name] {
 					diag(n.Pos(), "append onto a slice %s did not preallocate: reslice a prebuilt buffer to [:0] first, or waive with the capacity argument", name)
 				}
+			default:
+				if fn := calleeFunc(pkg.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					diag(n.Pos(), "fmt.%s in hot path %s allocates and boxes its operands; format off the hot path", fn.Name(), name)
+				}
 			}
 		}
 		return true
 	})
 	return out
+}
+
+// isStringExpr reports whether the expression's type is (an alias or
+// named form of) string, resolved through the type info so the check
+// fires on real string building, not numeric addition.
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
 }
 
 // preallocates reports whether binding a variable to rhs marks it

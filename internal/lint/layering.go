@@ -39,10 +39,17 @@ var layerAllows = map[string][]string{
 	"sample": {"dsmc/internal/grid", "dsmc/internal/kernel", "dsmc/internal/particle", "dsmc/internal/phys"},
 	// baseline: pluggable reference collision schemes.
 	"baseline": {"dsmc/internal/collide", "dsmc/internal/rng"},
+	// obs: the metrics registry — a leaf importable from the engine up
+	// (engine, coord, run, cmd), never from the compute layers below
+	// (kernel, par, particle): the width-grouped loops and the store
+	// must stay instrumentation-free so their cost model owes nothing
+	// to telemetry.
+	"obs": {},
 	// engine: the unified pipeline — everything below it, nothing above.
 	"engine": {
 		"dsmc/internal/baseline", "dsmc/internal/collide", "dsmc/internal/kernel",
-		"dsmc/internal/par", "dsmc/internal/particle", "dsmc/internal/rng", "dsmc/internal/sample",
+		"dsmc/internal/obs", "dsmc/internal/par", "dsmc/internal/particle",
+		"dsmc/internal/rng", "dsmc/internal/sample",
 	},
 	// ckpt: engine-state serialization.
 	"ckpt": {
@@ -70,7 +77,7 @@ var layerAllows = map[string][]string{
 		"dsmc/internal/grid", "dsmc/internal/rng", "dsmc/internal/sim",
 	},
 	// golden: FNV bit-identity pinning over both backends.
-	"golden": {"dsmc/internal/kernel", "dsmc/internal/sim", "dsmc/internal/sim3"},
+	"golden": {"dsmc/internal/kernel", "dsmc/internal/obs", "dsmc/internal/sim", "dsmc/internal/sim3"},
 	// run: job DAG, aggregation, checkpoint orchestration.
 	"run": {
 		"dsmc/internal/ckpt", "dsmc/internal/grid", "dsmc/internal/kernel",
@@ -79,10 +86,11 @@ var layerAllows = map[string][]string{
 	},
 	// coord: the distributed-sweep coordinator and pull-worker. It sits
 	// ABOVE the public package — jobs are enumerated, run and assembled
-	// through the dsmc distribution surface — so it may import no
-	// internal package at all; that keeps the wire protocol honest (a
-	// worker process has exactly the information an API client has).
-	"coord": {},
+	// through the dsmc distribution surface — so the only internal
+	// package it may reach is the obs telemetry leaf; that keeps the
+	// wire protocol honest (a worker process has exactly the
+	// information an API client has, plus its own instruments).
+	"coord": {"dsmc/internal/obs"},
 	// root: the public dsmc package — composes backends and run, but
 	// never reaches under engine's hood directly.
 	"root": {
@@ -113,6 +121,7 @@ var layerOf = map[string]string{
 	"dsmc/internal/grid":     "grid",
 	"dsmc/internal/sample":   "sample",
 	"dsmc/internal/baseline": "baseline",
+	"dsmc/internal/obs":      "obs",
 	"dsmc/internal/engine":   "engine",
 	"dsmc/internal/ckpt":     "ckpt",
 	"dsmc/internal/sim":      "sim",

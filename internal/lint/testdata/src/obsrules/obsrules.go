@@ -1,0 +1,49 @@
+// Package obsrules pins the observability contract on both rules it
+// touches. Layering: obs is importable from the engine up, never from
+// the compute layers — this package declares itself kernel-layer and
+// imports obs to seed that violation. Hotpath-alloc: atomic metric
+// increments through construction-time instrument pointers are the
+// accepted instrumentation idiom (no findings), while building a
+// metric name or message on the record path is flagged by the string
+// checks.
+//
+//dsmclint:scope hotpath-alloc
+//dsmclint:layer kernel
+package obsrules
+
+import (
+	"fmt"
+	"strconv"
+
+	"dsmc/internal/obs" // want "layering: package in layer .kernel. may not import dsmc/internal/obs"
+)
+
+// Instruments are resolved once, at package init — the record path
+// below holds pointers and never looks anything up.
+var (
+	steps = obs.Default.NewCounter("obsrules_steps_total", "Fixture steps.")
+	depth = obs.Default.NewGauge("obsrules_depth", "Fixture depth.")
+	phase = obs.Default.NewHistogram("obsrules_phase_seconds", "Fixture phase time.", obs.DurationBuckets)
+)
+
+// Instrumented is the sanctioned idiom: atomic increments on prebuilt
+// instruments inside a hot function. No findings.
+//
+//dsmc:hotpath
+func Instrumented(seconds float64, n int) {
+	steps.Inc()
+	steps.Add(2)
+	depth.Set(float64(n))
+	phase.Observe(seconds)
+}
+
+// FormattedName builds metric identity on the record path — every
+// string-producing form is an allocation the rule now catches.
+//
+//dsmc:hotpath
+func FormattedName(p int, seconds float64) string {
+	name := "obsrules_phase_" + strconv.Itoa(p) // want "hotpath-alloc: string concatenation in hot path FormattedName"
+	name += "_seconds"                          // want "hotpath-alloc: string concatenation in hot path FormattedName"
+	msg := fmt.Sprintf("%s=%v", name, seconds)  // want "hotpath-alloc: fmt.Sprintf in hot path FormattedName"
+	return msg
+}

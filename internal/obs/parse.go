@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText is a deliberately tiny reader of the Prometheus text
+// exposition format — just enough for tests to assert that a scrape
+// parses and to read individual sample values, without taking a
+// Prometheus dependency. It validates the shape of every line (# HELP
+// and # TYPE comments with a known type, or `name[{labels}] value`)
+// and returns the samples keyed by name+rendered-labels, the same key
+// Sample.Key produces.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	if !validName(fields[2]) {
+		return fmt.Errorf("bad metric name %q", fields[2])
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (key string, val float64, err error) {
+	// name{labels} value  |  name value
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	labels := ""
+	if rest[0] == '{' {
+		end := labelsEnd(rest)
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Timestamps (a trailing integer field) are legal in the format;
+	// this writer never emits them, and the parser rejects them so a
+	// test failure points at the unexpected field.
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name + labels, v, nil
+}
+
+// labelsEnd returns the index of the closing '}' of a label block that
+// starts at s[0] == '{', honouring escapes inside quoted values.
+func labelsEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -71,6 +71,7 @@ type replicaSim interface {
 	SampleInto(acc *sample.Accumulator)
 	Collisions() int64
 	NFlow() int
+	SetStepObserver(fn func(step int, phaseNs [4]int64, particles int))
 	CheckpointSections(w *ckpt.Writer)
 	RestoreSections(r *ckpt.Reader) error
 }
@@ -163,10 +164,16 @@ func buildReplica3D[F kernel.Float](sc Scenario, seed uint64) (*replicaJob, erro
 // reached (the state is consistent after any full step) and returns
 // ctx.Err(), so graceful shutdown loses no work and the resumed run is
 // still bit-identical.
-func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int)) (*ReplicaResult, error) {
+func runReplica(ctx context.Context, sc Scenario, quantities []string, seed uint64, warm, sampleSteps int, ck jobCkpt, progress func(done, total int), trace func(step int, phaseNs [4]int64, particles int)) (*ReplicaResult, error) {
 	job, err := buildReplica(sc, seed)
 	if err != nil {
 		return nil, err
+	}
+	if trace != nil {
+		// The flight-recorder feed: per-step phase timings straight off
+		// the engine's existing clock chokepoint. Purely observational —
+		// the observer sees durations, never touches state.
+		job.sim.SetStepObserver(trace)
 	}
 
 	done := 0 // steps completed, warm and sampling combined

@@ -113,11 +113,15 @@ func AggregateName(scenario string) string { return scenario + "/aggregate" }
 
 // JobIO carries the side channels of a single-job execution: the
 // checkpoint store (nil disables checkpointing), the step interval
-// between checkpoints, and the progress observer.
+// between checkpoints, the progress observer, and the per-step trace
+// observer (the flight-recorder feed; called on the stepping
+// goroutine after every step with that step's per-phase wall times in
+// nanoseconds and the particle count).
 type JobIO struct {
-	Ckpt     CkptStore
-	Every    int
-	Progress func(done, total int)
+	Ckpt      CkptStore
+	Every     int
+	Progress  func(done, total int)
+	StepTrace func(step int, phaseNs [4]int64, particles int)
 }
 
 // RunJob executes exactly one replica job of a validated spec — the
@@ -147,7 +151,7 @@ func RunJob(ctx context.Context, sp Spec, scenarioIdx, replica int, io JobIO) (*
 		ck = jobCkpt{store: io.Ckpt, every: every}
 	}
 	seed := jobSeed(sp.BaseSeed, scenarioIdx, replica)
-	return runReplica(ctx, sp.Scenarios[scenarioIdx], sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck, io.Progress)
+	return runReplica(ctx, sp.Scenarios[scenarioIdx], sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck, io.Progress, io.StepTrace)
 }
 
 // AggregateScenario fans in one scenario's replica results — results
@@ -251,7 +255,7 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 						func(done, total int) {
 							emit(Event{Type: EventJobProgress, Job: id, Scenario: sc.Name,
 								Replica: r, StepsDone: done, StepsTotal: total})
-						})
+						}, nil)
 					if err != nil {
 						return err
 					}

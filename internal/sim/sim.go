@@ -284,6 +284,14 @@ func (s *SimOf[F]) Rule() collide.Rule { return s.eng.Rule() }
 // PhaseTimes returns cumulative wall time per sub-step.
 func (s *SimOf[F]) PhaseTimes() map[string]time.Duration { return s.eng.PhaseTimes() }
 
+// SetStepObserver registers fn to receive each completed step's
+// per-phase wall times (nanoseconds, indexed by engine.Phase) and
+// particle count — the flight-recorder feed. fn runs on the stepping
+// goroutine; nil unregisters.
+func (s *SimOf[F]) SetStepObserver(fn func(step int, phaseNs [4]int64, particles int)) {
+	s.eng.SetStepObserver(fn)
+}
+
 // Step advances the simulation one time step through the four sub-steps.
 func (s *SimOf[F]) Step() { s.eng.Step() }
 

@@ -227,6 +227,14 @@ func (s *SimOf[F]) Grid() Grid3 { return s.grid }
 // PhaseTimes returns cumulative wall time per sub-step.
 func (s *SimOf[F]) PhaseTimes() map[string]time.Duration { return s.eng.PhaseTimes() }
 
+// SetStepObserver registers fn to receive each completed step's
+// per-phase wall times (nanoseconds, indexed by engine.Phase) and
+// particle count — the flight-recorder feed. fn runs on the stepping
+// goroutine; nil unregisters.
+func (s *SimOf[F]) SetStepObserver(fn func(step int, phaseNs [4]int64, particles int)) {
+	s.eng.SetStepObserver(fn)
+}
+
 // SampleInto accumulates the current snapshot into acc (which must cover
 // the box's cell count), sharded over cell ranges on the simulation's
 // worker pool — same bit-identity contract as the 2D backend.
