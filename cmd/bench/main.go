@@ -1,12 +1,14 @@
 // Command bench runs the key step benchmarks outside `go test` and
 // writes a machine-readable record of the performance trajectory
-// (BENCH_PR9.json): wall-clock µs/particle/step for the paper's
+// (BENCH_PR10.json): wall-clock µs/particle/step for the paper's
 // near-continuum and rarefied cases, a float32-vs-float64 precision
 // sweep over the engine backends, the worker sweep at paper scale, a
 // metrics-on/off pair quantifying the observability layer's overhead,
-// and an ensemble-throughput case (replica jobs/minute through the
-// run-orchestration subsystem at outer pool sizes 1 and NumCPU),
-// optionally compared against a previously recorded baseline file.
+// an ensemble-throughput case (replica jobs/minute through the
+// run-orchestration subsystem at outer pool sizes 1 and NumCPU), and a
+// cold/warm sweep-memoization pair (the same sweep re-run against a
+// populated result store, recording the memo speedup), optionally
+// compared against a previously recorded baseline file.
 // Every step case also records its per-phase wall-time breakdown
 // (move+boundary/sort/select/collide), the same numbers the /metrics
 // phase histograms and the flight recorder expose at runtime. The
@@ -15,7 +17,7 @@
 // from single-core CI hosts are not mistaken for the real worker-scaling
 // trajectory.
 //
-//	go run ./cmd/bench -out BENCH_PR9.json -baseline BENCH_PR8.json
+//	go run ./cmd/bench -out BENCH_PR10.json -baseline BENCH_PR9.json
 //	go run ./cmd/bench -quick   # CI smoke: few steps, still all cases
 package main
 
@@ -87,6 +89,9 @@ type Case struct {
 	// scheduling overhead, not outer-level scaling.
 	Jobs          int     `json:"jobs,omitempty"`
 	JobsPerMinute float64 `json:"jobs_per_minute,omitempty"`
+	// MemoSpeedup is set on the sweep-memo/warm case: the cold run's
+	// wall time divided by the warm (store-served) run's.
+	MemoSpeedup float64 `json:"memo_speedup,omitempty"`
 	// PhaseSeconds is the per-phase wall-time breakdown of the case's
 	// measured windows (cumulative over all Repeat windows) — the same
 	// move+boundary/sort/select/collide split the /metrics phase
@@ -104,7 +109,7 @@ type stepper interface {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier bench JSON to compute speedups against")
 	warm := flag.Int("warm", 30, "warm-up steps per case (past the initial transient)")
 	steps := flag.Int("steps", 40, "measured steps per case")
@@ -278,6 +283,12 @@ func main() {
 		rec.addEnsemble(fmt.Sprintf("ensemble-throughput/pool-%d", n), n, *warm, *steps)
 	}
 
+	// Sweep memoization: the ensemble sweep once against an empty result
+	// store (cold: computes and publishes) and once more against the
+	// populated store (warm: every replica and aggregate served from
+	// artifacts). The warm case records the cold/warm wall-time ratio.
+	rec.addMemoPair("sweep-memo", *warm, *steps)
+
 	if *baseline != "" {
 		if err := rec.compare(*baseline); err != nil {
 			log.Fatalf("bench: baseline %s: %v", *baseline, err)
@@ -404,6 +415,58 @@ func (rec *Record) addEnsemble(name string, pool, warm, steps int) {
 	rec.Cases = append(rec.Cases, c)
 	fmt.Printf("%-34s %9d particles  %6d jobs in %8s  %.2f jobs/min\n",
 		name, c.Particles, replicas, dt.Round(time.Millisecond), c.JobsPerMinute)
+}
+
+// addMemoPair measures sweep memoization: the ensemble sweep runs once
+// against an empty result store (cold — every replica computed and
+// published) and once more against the populated store (warm — every
+// replica and aggregate served from artifacts). The warm case records
+// the cold/warm wall-time ratio as MemoSpeedup.
+func (rec *Record) addMemoPair(name string, warm, steps int) {
+	const replicas = 6
+	dir, err := os.MkdirTemp("", "dsmc-bench-store-")
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := dsmc.PaperConfig()
+	cfg.MeanFreePath = 0.5
+	cfg.ParticlesPerCell = 8
+	cfg.Seed = 1988
+	spec := dsmc.SweepSpec{
+		Name:           "bench-memo",
+		Base:           cfg,
+		Replicas:       replicas,
+		WarmSteps:      warm,
+		SampleSteps:    steps,
+		Pool:           1,
+		ResultStoreDir: dir,
+	}
+	var dts [2]time.Duration
+	for i, phase := range [2]string{"cold", "warm"} {
+		t0 := time.Now()
+		res, err := dsmc.RunSweep(context.Background(), spec, nil)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		dts[i] = time.Since(t0)
+		c := Case{
+			Name:          name + "/" + phase,
+			Precision:     string(dsmc.Float64),
+			Workers:       1,
+			Particles:     int(res.Points[0].NFlow.Mean),
+			Jobs:          replicas,
+			JobsPerMinute: float64(replicas) / dts[i].Minutes(),
+		}
+		if i == 1 && dts[1] > 0 {
+			c.MemoSpeedup = float64(dts[0]) / float64(dts[1])
+		}
+		rec.Cases = append(rec.Cases, c)
+		fmt.Printf("%-34s %9d particles  %6d jobs in %8s  %.2f jobs/min\n",
+			c.Name, c.Particles, replicas, dts[i].Round(time.Millisecond), c.JobsPerMinute)
+	}
+	fmt.Printf("%-34s memo speedup warm vs cold: %.2fx\n",
+		name, rec.Cases[len(rec.Cases)-1].MemoSpeedup)
 }
 
 // precisionSpeedups fills SpeedupVsFloat64 on every /f32 case whose

@@ -16,8 +16,13 @@
 //	                              quantity's per-point field statistics
 //	GET  /v1/sweeps/{id}/trace    flight recorder: the most recent
 //	                              per-step engine phase timings (bounded ring)
+//	GET  /v1/store                result-store index: artifact keys, content
+//	                              hashes, sizes, and totals
+//	GET  /v1/store/{sha}          one artifact's raw bytes (octet-stream,
+//	                              immutable, ETag = content hash)
 //	GET  /metrics                 Prometheus text exposition (engine phase
-//	                              histograms, coordinator/worker telemetry)
+//	                              histograms, coordinator/worker telemetry,
+//	                              result-store hit/miss counters and gauges)
 //	GET  /debug/pprof/*           profiling (only with -pprof)
 //	GET  /healthz                 liveness
 //
@@ -73,6 +78,23 @@
 // dependents exactly like the in-process executor. GET /coord/v1/workers
 // reports the fleet.
 //
+// # Result store and memoization
+//
+// Every finished replica output is published to a content-addressed
+// result store under <data>/store/, keyed by the job's determinism
+// contract (spec fingerprint, master seed, point, replica). A submitted
+// sweep is first satisfied from the store: jobs whose artifacts already
+// exist complete instantly without dispatch, so a restarted or
+// overlapping sweep never recomputes finished work — and because
+// replica bits are a pure function of the key, the memoized aggregate
+// is bit-identical to a cold run's. Artifacts are checksum-verified on
+// every read (corruption quarantines the artifact and falls back to
+// recompute), and results are served with content-addressed cache
+// semantics: strong ETags, immutable Cache-Control, If-None-Match →
+// 304. -store-budget bounds the store's size; the oldest artifacts are
+// evicted past the budget (they are a cache — eviction only costs
+// recomputation).
+//
 // # Observability
 //
 // GET /metrics serves the Prometheus text format: per-phase engine
@@ -119,6 +141,7 @@ func main() {
 	keepalive := flag.Duration("keepalive", 15*time.Second, "NDJSON event-stream keepalive interval")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline for the HTTP server")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	storeBudget := flag.Int64("store-budget", 0, "result-store size budget in bytes; oldest artifacts evicted past it (0 = unlimited)")
 
 	workerMode := flag.Bool("worker", false, "run as a pull-worker against -coord instead of serving")
 	coordURL := flag.String("coord", "http://127.0.0.1:8077", "coordinator base URL (worker mode)")
@@ -141,13 +164,14 @@ func main() {
 	}
 
 	s, err := newServerWith(serverOpts{
-		dataDir:    *data,
-		workers:    *pool,
-		leaseTTL:   *leaseTTL,
-		heartbeat:  *heartbeat,
-		maxRetries: *maxRetries,
-		keepalive:  *keepalive,
-		pprof:      *pprofOn,
+		dataDir:     *data,
+		workers:     *pool,
+		leaseTTL:    *leaseTTL,
+		heartbeat:   *heartbeat,
+		maxRetries:  *maxRetries,
+		keepalive:   *keepalive,
+		pprof:       *pprofOn,
+		storeBudget: *storeBudget,
 	})
 	if err != nil {
 		log.Fatal(err)

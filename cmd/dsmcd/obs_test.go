@@ -61,6 +61,26 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("dsmc_coord_queue_depth = %v (present=%v), want 0 after completion", got, ok)
 	}
 
+	// Result-store layer: the sweep's two replica outputs were published
+	// (their dispatch-time lookups missed a cold store), and the instance
+	// gauges report the artifacts on disk. Counters are process-global, so
+	// the floor is this sweep's contribution.
+	for name, min := range map[string]float64{
+		"dsmc_store_publishes_total": 2,
+		"dsmc_store_misses_total":    2,
+		"dsmc_store_artifacts":       2,
+		"dsmc_store_bytes":           1,
+	} {
+		if samples[name] < min {
+			t.Errorf("%s = %v, want >= %v", name, samples[name], min)
+		}
+	}
+	for _, name := range []string{"dsmc_store_hits_total", "dsmc_store_verify_failures_total", "dsmc_store_evictions_total"} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("%s missing from the scrape (registered counters must render at zero)", name)
+		}
+	}
+
 	// Fleet layer: per-worker heartbeat ages and the re-emitted engine
 	// snapshots, both labelled by worker.
 	var ages, fleet int

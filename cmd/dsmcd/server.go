@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +22,7 @@ import (
 	"dsmc"
 	"dsmc/internal/coord"
 	"dsmc/internal/obs"
+	"dsmc/internal/store"
 )
 
 // sweepState is the lifecycle of a submitted sweep.
@@ -113,6 +116,15 @@ type server struct {
 	pool    int
 	pprof   bool
 
+	// store is the content-addressed result store under <data>/store/:
+	// every finished replica output is published there by its
+	// deterministic key, sweeps sharing points are satisfied from it
+	// without dispatch, and /v1/store serves the artifacts as immutable
+	// HTTP resources. storeBudget caps its size in bytes (0 = unlimited);
+	// the cap is enforced by GC at startup and after every sweep.
+	store       *store.Store
+	storeBudget int64
+
 	coord     *coord.Coordinator
 	keepalive time.Duration
 
@@ -127,13 +139,14 @@ type server struct {
 // serverOpts carries the tunables main exposes as flags; the zero value
 // of any field selects the default.
 type serverOpts struct {
-	dataDir    string
-	workers    int           // embedded worker count (0 = NumCPU, < 0 = none: external workers only)
-	leaseTTL   time.Duration // coordinator lease TTL (0 = 15s)
-	heartbeat  time.Duration // embedded-worker heartbeat (0 = 2s)
-	maxRetries int           // dispatch attempts per job (0 = 3)
-	keepalive  time.Duration // NDJSON keepalive interval (0 = 15s)
-	pprof      bool          // serve net/http/pprof under /debug/pprof/
+	dataDir     string
+	workers     int           // embedded worker count (0 = NumCPU, < 0 = none: external workers only)
+	leaseTTL    time.Duration // coordinator lease TTL (0 = 15s)
+	heartbeat   time.Duration // embedded-worker heartbeat (0 = 2s)
+	maxRetries  int           // dispatch attempts per job (0 = 3)
+	keepalive   time.Duration // NDJSON keepalive interval (0 = 15s)
+	pprof       bool          // serve net/http/pprof under /debug/pprof/
+	storeBudget int64         // result-store size budget in bytes (0 = unlimited)
 }
 
 func newServer(dataDir string, pool int) (*server, error) {
@@ -154,17 +167,29 @@ func newServerWith(opts serverOpts) (*server, error) {
 		opts.keepalive = 15 * time.Second
 	}
 	s := &server{
-		dataDir:   opts.dataDir,
-		pool:      opts.workers,
-		pprof:     opts.pprof,
-		keepalive: opts.keepalive,
-		sweeps:    map[string]*sweepRun{},
+		dataDir:     opts.dataDir,
+		pool:        opts.workers,
+		pprof:       opts.pprof,
+		storeBudget: opts.storeBudget,
+		keepalive:   opts.keepalive,
+		sweeps:      map[string]*sweepRun{},
 	}
+	// The result store opens before the coordinator and before recovery:
+	// Open quarantines its own torn/corrupt leftovers, and resumed sweeps
+	// must see the finished artifacts so their completed jobs memoize
+	// instead of redispatching.
+	st, err := store.Open(filepath.Join(opts.dataDir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	s.gcStore()
 	s.coord = coord.New(coord.Config{
 		DataDir:     opts.dataDir,
 		LeaseTTL:    opts.leaseTTL,
 		MaxAttempts: opts.maxRetries,
 		OnEvent:     s.observeSweep,
+		Store:       st,
 	})
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -212,7 +237,9 @@ func (s *server) observeSweep(sweepID string, e dsmc.SweepEvent) {
 // removed first: the rename never happened, so the orphan is garbage by
 // construction and must not shadow the real file's next write.
 func (s *server) recover() error {
-	if err := removeOrphanTmp(s.dataDir); err != nil {
+	// The store subtree is excluded: store.Open already swept it, and its
+	// policy is quarantine (keep the evidence), not delete.
+	if err := removeOrphanTmp(s.dataDir, filepath.Join(s.dataDir, "store")); err != nil {
 		return err
 	}
 	entries, err := os.ReadDir(s.dataDir)
@@ -254,11 +281,15 @@ func (s *server) recover() error {
 	return nil
 }
 
-// removeOrphanTmp walks the data tree and deletes every *.tmp file.
-func removeOrphanTmp(dir string) error {
+// removeOrphanTmp walks the data tree and deletes every *.tmp file,
+// skipping the subtree rooted at skip (empty skips nothing).
+func removeOrphanTmp(dir, skip string) error {
 	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
+		}
+		if d.IsDir() && skip != "" && path == skip {
+			return fs.SkipDir
 		}
 		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
 			log.Printf("recover: removing orphaned temp file %s", path)
@@ -311,10 +342,20 @@ func (s *server) execute(run *sweepRun) {
 		} else {
 			log.Printf("%s done", run.ID)
 		}
+		s.gcStore()
 	})
 	if err != nil {
 		run.finish(nil, err)
 		log.Printf("%s failed: %v", run.ID, err)
+	}
+}
+
+// gcStore enforces the store's size budget (and sweeps unreferenced
+// objects): called at startup and after every sweep completion, so the
+// store converges on the budget without a background goroutine.
+func (s *server) gcStore() {
+	if removed, freed := s.store.GC(s.storeBudget); removed > 0 {
+		log.Printf("store gc: evicted %d artifacts, freed %d bytes", removed, freed)
 	}
 }
 
@@ -455,6 +496,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/store", s.handleStoreList)
+	mux.HandleFunc("GET /v1/store/{sha}", s.handleStoreObject)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The coordinator protocol, for external `dsmcd -worker` processes.
 	mux.Handle("/coord/v1/", s.coord.Handler())
@@ -480,6 +523,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	s.coord.WriteMetrics(w)
+	s.store.WriteMetrics(w)
 }
 
 // handleTrace serves the sweep's flight recorder: the most recent
@@ -510,6 +554,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	if spec.CheckpointDir != "" {
 		writeErr(w, http.StatusBadRequest, errors.New("checkpoint_dir is server-managed; leave it empty"))
+		return
+	}
+	if spec.ResultStoreDir != "" {
+		writeErr(w, http.StatusBadRequest, errors.New("result_store_dir is server-managed; leave it empty"))
 		return
 	}
 	// The base may be the legacy flat config or a first-class scenario
@@ -714,18 +762,21 @@ func (s *server) handleResult(w http.ResponseWriter, req *http.Request) {
 	default:
 		// Done sweeps always carry their result: finish(res, nil) is the
 		// only path to stateDone, including recovery (which unmarshals
-		// result.json before marking the run done).
+		// result.json before marking the run done). A done result is
+		// immutable — the sweep's determinism contract says a re-run
+		// produces the same bits — so it is served with content-addressed
+		// cache semantics.
 		if q := req.URL.Query().Get("quantity"); q != "" {
-			s.writeQuantity(w, res, dsmc.Quantity(q))
+			s.writeQuantity(w, req, res, dsmc.Quantity(q))
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeImmutableJSON(w, req, res)
 	}
 }
 
 // writeQuantity serves one sampled quantity's per-point aggregates, or
 // 404 when the sweep did not sample it.
-func (s *server) writeQuantity(w http.ResponseWriter, res *dsmc.SweepResult, q dsmc.Quantity) {
+func (s *server) writeQuantity(w http.ResponseWriter, req *http.Request, res *dsmc.SweepResult, q dsmc.Quantity) {
 	view := quantityView{Quantity: string(q)}
 	for _, p := range res.Points {
 		fs, ok := p.Fields[q]
@@ -736,7 +787,94 @@ func (s *server) writeQuantity(w http.ResponseWriter, res *dsmc.SweepResult, q d
 		}
 		view.Points = append(view.Points, quantityPointView{Name: p.Name, Kind: p.Kind, Field: fs})
 	}
-	writeJSON(w, http.StatusOK, view)
+	writeImmutableJSON(w, req, view)
+}
+
+// handleStoreList serves the result store's index: totals plus every
+// artifact's key, content hash, size, and fetch path.
+func (s *server) handleStoreList(w http.ResponseWriter, _ *http.Request) {
+	artifacts, size := s.store.Stats()
+	type entryView struct {
+		store.Entry
+		Href string `json:"href"`
+	}
+	entries := s.store.List()
+	views := make([]entryView, 0, len(entries))
+	for _, e := range entries {
+		views = append(views, entryView{Entry: e, Href: "/v1/store/" + e.SHA256})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"artifacts": artifacts,
+		"bytes":     size,
+		"entries":   views,
+	})
+}
+
+// handleStoreObject serves one artifact's raw bytes by content hash.
+// The resource is immutable by construction — the hash IS the identity
+// — so the ETag is the hash and the cache lifetime is maximal.
+func (s *server) handleStoreObject(w http.ResponseWriter, req *http.Request) {
+	sha := req.PathValue("sha")
+	data, ok := s.store.GetBySHA(sha)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no object %q in the result store", sha))
+		return
+	}
+	etag := `"` + sha + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", immutableCache)
+	if etagMatches(req.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// immutableCache is the cache policy of every content-addressed
+// resource: anyone may cache it, for the longest interval RFC 9111
+// blesses, and revalidation is pointless because the bytes cannot
+// change under their identity.
+const immutableCache = "public, max-age=31536000, immutable"
+
+// writeImmutableJSON serves v as JSON with content-addressed cache
+// semantics: a strong ETag derived from the encoded body's SHA-256,
+// the immutable cache policy, and If-None-Match short-circuiting to
+// 304 Not Modified with an empty body.
+func writeImmutableJSON(w http.ResponseWriter, req *http.Request, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	etag := fmt.Sprintf("\"%x\"", sha256.Sum256(buf.Bytes()))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", immutableCache)
+	if etagMatches(req.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// etagMatches implements If-None-Match: a comma-separated candidate
+// list, each possibly weak (W/ prefix — weak comparison suffices for
+// GET revalidation), or the wildcard.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -183,6 +183,12 @@ func TestServerValidation(t *testing.T) {
 	if code := post(string(raw)); code != http.StatusBadRequest {
 		t.Errorf("client checkpoint dir: status %d", code)
 	}
+	withStore := tinySpec()
+	withStore.ResultStoreDir = "/tmp/evil-store"
+	raw, _ = json.Marshal(withStore)
+	if code := post(string(raw)); code != http.StatusBadRequest {
+		t.Errorf("client result store dir: status %d", code)
+	}
 
 	resp, err := http.Get(ts.URL + "/v1/sweeps/sw-999999")
 	if err != nil {

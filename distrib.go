@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dsmc/internal/run"
+	"dsmc/internal/store"
 )
 
 // This file is the distributed-execution surface of a sweep: a sweep's
@@ -28,6 +29,13 @@ type SweepJob struct {
 	Point      int    `json:"point"`
 	Replica    int    `json:"replica"`
 	StepsTotal int    `json:"steps_total"`
+	// StoreKey is the job's content-addressed result-store key ID — a
+	// pure function of the spec's determinism contract (spec
+	// fingerprint, master seed, point, replica), so every process that
+	// holds the spec derives the same key. A coordinator with a store
+	// uses it to satisfy jobs from finished artifacts instead of
+	// dispatching them.
+	StoreKey string `json:"store_key,omitempty"`
 }
 
 // SweepJobs enumerates the replica jobs of a validated spec in
@@ -50,6 +58,7 @@ func SweepJobs(spec SweepSpec) ([]SweepJob, error) {
 				Point:      si,
 				Replica:    r,
 				StepsTotal: total,
+				StoreKey:   sp.OutputKey(si, r).ID(),
 			})
 		}
 	}
@@ -136,6 +145,13 @@ func RunSweepJob(ctx context.Context, spec SweepSpec, point, replica int, io Swe
 	jio := run.JobIO{Every: every, Progress: io.Progress}
 	if io.Checkpoint != nil {
 		jio.Ckpt = io.Checkpoint
+	}
+	if spec.ResultStoreDir != "" {
+		st, err := store.Open(spec.ResultStoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("dsmc: opening result store: %w", err)
+		}
+		jio.Results = st
 	}
 	if trace := io.OnStepTrace; trace != nil {
 		jio.StepTrace = func(step int, phaseNs [4]int64, particles int) {

@@ -7,6 +7,7 @@ import (
 
 	"dsmc/internal/grid"
 	"dsmc/internal/run"
+	"dsmc/internal/store"
 )
 
 // SweepPoint is one point of a parameter sweep: a name plus optional
@@ -69,6 +70,16 @@ type SweepSpec struct {
 	// checkpoints — bit-identically to an uninterrupted run.
 	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+	// ResultStoreDir, when set, memoizes the sweep against a
+	// content-addressed result store rooted there: finished replica
+	// outputs and point aggregates are published as checksummed
+	// artifacts keyed by (spec fingerprint, master seed, point index,
+	// replica), and a later sweep deriving the same keys — a re-run, or
+	// a sweep sharing points at the same indices — reuses the verified
+	// artifacts instead of recomputing, bit-identically. The dsmcd
+	// server manages its own store; specs submitted to it must leave
+	// this empty.
+	ResultStoreDir string `json:"result_store_dir,omitempty"`
 }
 
 // BaseScenario resolves the sweep's base: the first-class Scenario when
@@ -393,6 +404,13 @@ func RunSweep(ctx context.Context, spec SweepSpec, onEvent func(SweepEvent)) (*S
 	sp, plans, err := lowerSpec(spec)
 	if err != nil {
 		return nil, err
+	}
+	if spec.ResultStoreDir != "" {
+		st, err := store.Open(spec.ResultStoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("dsmc: opening result store: %w", err)
+		}
+		sp.Results = st
 	}
 	var observer func(run.Event)
 	if onEvent != nil {

@@ -11,6 +11,7 @@ import (
 
 	"dsmc"
 	"dsmc/internal/obs"
+	"dsmc/internal/store"
 )
 
 // Config parameterizes a Coordinator. The zero value works for tests:
@@ -29,6 +30,15 @@ type Config struct {
 	// or a worker reports an error and the budget is spent, the job fails
 	// permanently and the failure propagates through the DAG (default 3).
 	MaxAttempts int
+	// Store, when non-nil, memoizes jobs against the content-addressed
+	// result store: a sweep's jobs are satisfied from finished artifacts
+	// at registration (never dispatched), every accepted completion is
+	// published under the job's store key, and a publish immediately
+	// completes matching pending jobs of every other registered sweep.
+	// Reads are checksum-verified by the store; publishes of conflicting
+	// bytes under a live key are refused and counted, never silently
+	// accepted.
+	Store *store.Store
 	// OnEvent, when non-nil, observes sweep progress with the same event
 	// vocabulary as dsmc.RunSweep, plus "job-lost" (lease expired or
 	// worker-reported error with budget remaining; the job will be
@@ -69,6 +79,9 @@ type job struct {
 	point      int
 	replica    int
 	stepsTotal int
+	// storeKey is the job's content-addressed result key (from
+	// dsmc.SweepJobs); empty disables memoization for the job.
+	storeKey string
 
 	phase    jobPhase
 	attempts int // dispatches consumed against MaxAttempts
@@ -146,7 +159,12 @@ func (c *Coordinator) AddSweep(id string, spec dsmc.SweepSpec, onDone func(*dsmc
 	if err != nil {
 		return err
 	}
-	raw, err := json.Marshal(spec)
+	// The dispatched spec must not leak coordinator-local paths: a worker
+	// handed ResultStoreDir would open (or create) that directory on its
+	// own filesystem. Memoization is coordinator-side; workers just run.
+	wire := spec
+	wire.ResultStoreDir = ""
+	raw, err := json.Marshal(wire)
 	if err != nil {
 		return err
 	}
@@ -159,7 +177,7 @@ func (c *Coordinator) AddSweep(id string, spec dsmc.SweepSpec, onDone func(*dsmc
 		onDone:  onDone,
 	}
 	for _, j := range jobs {
-		tj := &job{id: j.ID, point: j.Point, replica: j.Replica, stepsTotal: j.StepsTotal}
+		tj := &job{id: j.ID, point: j.Point, replica: j.Replica, stepsTotal: j.StepsTotal, storeKey: j.StoreKey}
 		st.jobs = append(st.jobs, tj)
 		st.byID[j.ID] = tj
 		for len(st.points) <= j.Point {
@@ -183,6 +201,28 @@ func (c *Coordinator) AddSweep(id string, spec dsmc.SweepSpec, onDone func(*dsmc
 	}
 	c.sweeps[id] = st
 	c.order = append(c.order, id)
+	// Memoization pass: satisfy every job the store already holds before
+	// anything dispatches, so overlapping or restarted sweeps never
+	// re-dispatch finished work. Runs once per sweep under the lock — the
+	// 25ms poll loop never touches the store.
+	if c.cfg.Store != nil {
+		touched := make([]bool, len(st.points))
+		any := false
+		for _, j := range st.jobs {
+			if c.memoLocked(st, j) {
+				touched[j.point] = true
+				any = true
+			}
+		}
+		for pt, t := range touched {
+			if t {
+				c.maybeAggregateLocked(st, pt)
+			}
+		}
+		if any {
+			c.maybeFinishLocked(st)
+		}
+	}
 	return nil
 }
 
@@ -380,6 +420,16 @@ func (c *Coordinator) Complete(sweep, jobID, lease string, out *dsmc.ReplicaOutp
 	c.emitLocked(st.id, dsmc.SweepEvent{Type: "job-done", Job: j.id})
 	c.maybeAggregateLocked(st, j.point)
 	c.maybeFinishLocked(st)
+	// Publish the accepted output to the result store and immediately
+	// satisfy matching pending jobs of every other registered sweep. The
+	// publish sits behind the lease fence above, so only the winning
+	// completion of a redispatched job reaches the store; racing writers
+	// of the same key must therefore produce identical bytes, which Put
+	// verifies rather than assumes (a conflict is refused and counted).
+	if c.cfg.Store != nil && j.storeKey != "" {
+		_, _ = c.cfg.Store.Put(j.storeKey, EncodeOutput(out))
+		c.satisfyOthersLocked(st.id, j.storeKey)
+	}
 	return nil
 }
 
@@ -530,6 +580,65 @@ func (c *Coordinator) retryOrFailLocked(st *sweepState, j *job, msg string) {
 		}
 	}
 	c.maybeFinishLocked(st)
+}
+
+// memoLocked tries to satisfy one pending job from the result store.
+// On a verified hit the job completes without dispatch — its events are
+// emitted so the stream matches a computed run's shape — but no
+// completion counter fires: memoized work was not done here. A
+// checksum-valid artifact that fails frame decode is quarantined via
+// Reject so a recompute can replace it.
+func (c *Coordinator) memoLocked(st *sweepState, j *job) bool {
+	if c.cfg.Store == nil || j.storeKey == "" || j.phase != jobPending {
+		return false
+	}
+	data, _, ok := c.cfg.Store.Get(j.storeKey)
+	if !ok {
+		return false
+	}
+	out, err := DecodeOutput(data)
+	if err != nil {
+		c.cfg.Store.Reject(j.storeKey)
+		return false
+	}
+	j.phase = jobDone
+	j.stepsDone = j.stepsTotal
+	j.output = out
+	j.ckpt = nil
+	c.emitLocked(st.id, dsmc.SweepEvent{Type: "job-started", Job: j.id})
+	c.emitLocked(st.id, dsmc.SweepEvent{Type: "job-done", Job: j.id})
+	return true
+}
+
+// satisfyOthersLocked completes every other live sweep's pending jobs
+// that share a just-published store key — the cross-sweep half of
+// memoization: overlapping sweeps converge on one computation per key.
+func (c *Coordinator) satisfyOthersLocked(origin, storeKey string) {
+	for _, id := range c.order {
+		if id == origin {
+			continue
+		}
+		st := c.sweeps[id]
+		if st.finished || st.failed {
+			continue
+		}
+		touched := make([]bool, len(st.points))
+		any := false
+		for _, j := range st.jobs {
+			if j.phase == jobPending && j.storeKey == storeKey && c.memoLocked(st, j) {
+				touched[j.point] = true
+				any = true
+			}
+		}
+		for pt, t := range touched {
+			if t {
+				c.maybeAggregateLocked(st, pt)
+			}
+		}
+		if any {
+			c.maybeFinishLocked(st)
+		}
+	}
 }
 
 // maybeAggregateLocked emits the aggregate fan-in events once a point's

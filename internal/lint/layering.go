@@ -39,6 +39,11 @@ var layerAllows = map[string][]string{
 	"sample": {"dsmc/internal/grid", "dsmc/internal/kernel", "dsmc/internal/particle", "dsmc/internal/phys"},
 	// baseline: pluggable reference collision schemes.
 	"baseline": {"dsmc/internal/collide", "dsmc/internal/rng"},
+	// store: the content-addressed result store — artifact bytes, keys
+	// and codecs over the filesystem plus the obs telemetry leaf. It
+	// knows nothing of specs or scheduling: key derivation lives in run,
+	// so the store can sit below run, coord and the public package alike.
+	"store": {"dsmc/internal/obs"},
 	// obs: the metrics registry — a leaf importable from the engine up
 	// (engine, coord, run, cmd), never from the compute layers below
 	// (kernel, par, particle): the width-grouped loops and the store
@@ -78,25 +83,27 @@ var layerAllows = map[string][]string{
 	},
 	// golden: FNV bit-identity pinning over both backends.
 	"golden": {"dsmc/internal/kernel", "dsmc/internal/obs", "dsmc/internal/sim", "dsmc/internal/sim3"},
-	// run: job DAG, aggregation, checkpoint orchestration.
+	// run: job DAG, aggregation, checkpoint/memoization orchestration.
 	"run": {
 		"dsmc/internal/ckpt", "dsmc/internal/grid", "dsmc/internal/kernel",
 		"dsmc/internal/molec", "dsmc/internal/rng", "dsmc/internal/sample",
-		"dsmc/internal/sim", "dsmc/internal/sim3",
+		"dsmc/internal/sim", "dsmc/internal/sim3", "dsmc/internal/store",
 	},
 	// coord: the distributed-sweep coordinator and pull-worker. It sits
 	// ABOVE the public package — jobs are enumerated, run and assembled
 	// through the dsmc distribution surface — so the only internal
-	// package it may reach is the obs telemetry leaf; that keeps the
-	// wire protocol honest (a worker process has exactly the
-	// information an API client has, plus its own instruments).
-	"coord": {"dsmc/internal/obs"},
+	// packages it may reach are the obs telemetry leaf and the result
+	// store it memoizes dispatch against; that keeps the wire protocol
+	// honest (a worker process has exactly the information an API client
+	// has, plus its own instruments — the store is coordinator-side).
+	"coord": {"dsmc/internal/obs", "dsmc/internal/store"},
 	// root: the public dsmc package — composes backends and run, but
 	// never reaches under engine's hood directly.
 	"root": {
 		"dsmc/internal/cmsim", "dsmc/internal/geom", "dsmc/internal/grid",
 		"dsmc/internal/molec", "dsmc/internal/phys", "dsmc/internal/run",
 		"dsmc/internal/sample", "dsmc/internal/sim", "dsmc/internal/sim3",
+		"dsmc/internal/store",
 	},
 	// cmd: developer/server binaries may reach anything.
 	"cmd": {"*"},
@@ -130,6 +137,7 @@ var layerOf = map[string]string{
 	"dsmc/internal/cmsim":    "cmsim",
 	"dsmc/internal/golden":   "golden",
 	"dsmc/internal/run":      "run",
+	"dsmc/internal/store":    "store",
 	"dsmc/internal/coord":    "coord",
 	"dsmc":                   "root",
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"dsmc/internal/sample"
+	"dsmc/internal/store"
 )
 
 // Spec describes an ensemble or sweep: one or more scenarios, each run
@@ -56,6 +57,12 @@ type Spec struct {
 	// CheckpointEvery is the step interval between job checkpoints
 	// (default 50 when a directory is set).
 	CheckpointEvery int
+	// Results, when set, memoizes the sweep against a content-addressed
+	// result store: every replica and aggregate node consults the store
+	// before computing (a verified hit skips the work entirely) and
+	// publishes its artifact after. Keys derive from the determinism
+	// contract (see memo.go), so hits are bit-identical by construction.
+	Results *store.Store
 }
 
 // Validate reports spec errors.
@@ -122,6 +129,10 @@ type JobIO struct {
 	Every     int
 	Progress  func(done, total int)
 	StepTrace func(step int, phaseNs [4]int64, particles int)
+	// Results, when set, memoizes the job: a verified store hit returns
+	// the finished output without stepping, a miss computes and
+	// publishes it.
+	Results *store.Store
 }
 
 // RunJob executes exactly one replica job of a validated spec — the
@@ -150,8 +161,24 @@ func RunJob(ctx context.Context, sp Spec, scenarioIdx, replica int, io JobIO) (*
 		}
 		ck = jobCkpt{store: io.Ckpt, every: every}
 	}
+	if io.Results != nil {
+		if res, ok := memoReplica(io.Results, sp.OutputKey(scenarioIdx, replica)); ok {
+			if io.Progress != nil {
+				total := sp.WarmSteps + sp.SampleSteps
+				io.Progress(total, total)
+			}
+			return res, nil
+		}
+	}
 	seed := jobSeed(sp.BaseSeed, scenarioIdx, replica)
-	return runReplica(ctx, sp.Scenarios[scenarioIdx], sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck, io.Progress, io.StepTrace)
+	res, err := runReplica(ctx, sp.Scenarios[scenarioIdx], sp.quantities(), seed, sp.WarmSteps, sp.SampleSteps, ck, io.Progress, io.StepTrace)
+	if err != nil {
+		return nil, err
+	}
+	if io.Results != nil {
+		publishReplica(io.Results, sp.OutputKey(scenarioIdx, replica), res)
+	}
+	return res, nil
 }
 
 // AggregateScenario fans in one scenario's replica results — results
@@ -246,6 +273,15 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 			nodes = append(nodes, Node{
 				ID: id,
 				Run: func(ctx context.Context) error {
+					if sp.Results != nil {
+						if res, ok := memoReplica(sp.Results, sp.OutputKey(si, r)); ok {
+							results[si][r] = res
+							total := sp.WarmSteps + sp.SampleSteps
+							emit(Event{Type: EventJobProgress, Job: id, Scenario: sc.Name,
+								Replica: r, StepsDone: total, StepsTotal: total})
+							return nil
+						}
+					}
 					var ck jobCkpt
 					if sp.CheckpointDir != "" {
 						ck = jobCkpt{store: FileCkptStore{Path: jobCkptPath(sp.CheckpointDir, si, r)}, every: ckEvery}
@@ -260,6 +296,9 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 						return err
 					}
 					results[si][r] = res
+					if sp.Results != nil {
+						publishReplica(sp.Results, sp.OutputKey(si, r), res)
+					}
 					return nil
 				},
 			})
@@ -268,7 +307,17 @@ func Run(ctx context.Context, sp Spec, onEvent func(Event)) (*Result, error) {
 			ID:   AggregateName(sc.Name),
 			Deps: deps,
 			Run: func(ctx context.Context) error {
+				if sp.Results != nil {
+					if agg, ok := memoAggregate(sp.Results, sp.AggregateKey(si), sc.Name, sp.quantities()); ok {
+						aggs[si] = agg
+						emit(Event{Type: EventAggregateDone, Job: AggregateName(sc.Name), Scenario: sc.Name})
+						return nil
+					}
+				}
 				aggs[si] = aggregate(sc.Name, sp.quantities(), results[si])
+				if sp.Results != nil {
+					publishAggregate(sp.Results, sp.AggregateKey(si), aggs[si], sp.quantities())
+				}
 				emit(Event{Type: EventAggregateDone, Job: AggregateName(sc.Name), Scenario: sc.Name})
 				return nil
 			},

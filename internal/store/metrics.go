@@ -1,0 +1,19 @@
+package store
+
+import "dsmc/internal/obs"
+
+// Process-global store counters, registered once at package init so the
+// families render (at zero) from the first scrape. Gauges that depend
+// on a Store instance live on (*Store).WriteMetrics instead.
+var (
+	mHits = obs.Default.NewCounter("dsmc_store_hits_total",
+		"Result-store lookups satisfied by a verified artifact (replicas not recomputed).")
+	mMisses = obs.Default.NewCounter("dsmc_store_misses_total",
+		"Result-store lookups that found no usable artifact.")
+	mPublishes = obs.Default.NewCounter("dsmc_store_publishes_total",
+		"Artifacts published to the result store (idempotent re-acks not counted).")
+	mVerifyFailures = obs.Default.NewCounter("dsmc_store_verify_failures_total",
+		"Artifacts that failed integrity verification (quarantined) or publish conflicts.")
+	mEvictions = obs.Default.NewCounter("dsmc_store_evictions_total",
+		"Artifacts evicted by the size-budget garbage collector.")
+)

@@ -1,0 +1,445 @@
+// Package store is the content-addressed result store: the simulation
+// database a sweep server accumulates as it runs. A finished replica
+// job's output is a pure function of (spec fingerprint, master seed,
+// point index, replica index) — the repo's determinism contract — so
+// the store indexes artifacts by exactly that tuple and any later sweep
+// that derives the same key gets the finished bytes back instead of
+// recomputing them.
+//
+// Layout under the root (modeled on dagu's file-based persistence and
+// git's object/ref split):
+//
+//	objects/<sha256>      artifact bytes, content-addressed, immutable
+//	index/<key-id>        one line: the sha256 of the key's content
+//	quarantine/           torn or corrupt files moved aside, never served
+//
+// Writes are atomic (temp file + fsync + rename, both layers), and the
+// index is input-addressed over content-addressed objects: publishing
+// the same key twice with identical bytes is an idempotent ack, while
+// publishing different bytes under an existing key is a conflict error
+// — the determinism violation is detected, never silently resolved.
+// Every read re-hashes the object and compares against the index; a
+// mismatch (disk corruption, torn write that survived rename) moves the
+// object to quarantine and reports a miss, so callers fall back to
+// recomputation instead of serving garbage. The content hash doubles as
+// the artifact's strong HTTP ETag.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key identifies one artifact by the inputs that determine its bits:
+// the quantity-inclusive spec fingerprint, the sweep's master seed, the
+// point (scenario) index, and the replica index — or, for a point
+// aggregate, the replica count.
+type Key struct {
+	// Kind tags the artifact type: "out" (one replica's output, DSMCOUT1
+	// frame) or "agg" (one point's aggregate, DSMCAGG1 frame).
+	Kind string
+	// Fp is the spec fingerprint extended with the requested quantities
+	// (the trajectory fingerprint alone under-identifies an artifact:
+	// outputs carry derived fields, which depend on what was sampled).
+	Fp uint64
+	// Seed is the sweep's master seed; each job's seed derives from it
+	// and the (point, replica) coordinates, so the tuple pins the bits.
+	Seed uint64
+	// Point is the scenario index within the sweep — part of the seed
+	// derivation, so the same physics at a different index is a
+	// different artifact.
+	Point int
+	// Replica is the replica index for "out" artifacts and the replica
+	// count for "agg" artifacts (an aggregate over fewer replicas is a
+	// different result).
+	Replica int
+}
+
+// ID renders the key as its canonical, filesystem-safe index name.
+func (k Key) ID() string {
+	return fmt.Sprintf("%s-%016x-%016x-p%03d-r%03d", k.Kind, k.Fp, k.Seed, k.Point, k.Replica)
+}
+
+// Entry is one index row of the store listing.
+type Entry struct {
+	ID     string `json:"key"`
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// All methods are safe for concurrent use; the in-memory index mirrors
+// the on-disk one and is authoritative between Opens.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	index map[string]string // key ID → content sha256 (hex)
+	sizes map[string]int64  // sha256 → object size in bytes
+	bytes int64             // total object bytes (including unreferenced)
+}
+
+// Open opens (creating if needed) a store rooted at dir and runs the
+// recovery sweep: every *.tmp orphan left by a crashed atomic write is
+// moved to quarantine/, and every index entry is validated against its
+// object's existence — a dangling or malformed entry is quarantined and
+// dropped rather than served.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		root:  dir,
+		index: map[string]string{},
+		sizes: map[string]int64{},
+	}
+	for _, sub := range []string{s.objectsDir(), s.indexDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.sweepOrphans(); err != nil {
+		return nil, err
+	}
+	objs, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range objs {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.sizes[e.Name()] = info.Size()
+		s.bytes += info.Size()
+	}
+	idx, err := os.ReadDir(s.indexDir())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range idx {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.indexDir(), e.Name())
+		raw, err := os.ReadFile(path)
+		sha := strings.TrimSpace(string(raw))
+		if err != nil || !validSHA(sha) {
+			s.quarantine(path)
+			continue
+		}
+		if _, ok := s.sizes[sha]; !ok {
+			// Dangling reference: the object never made it (or was lost).
+			// Quarantine the entry so the key reads as a clean miss and a
+			// recompute can republish it.
+			s.quarantine(path)
+			continue
+		}
+		s.index[e.Name()] = sha
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Get returns a key's artifact bytes and content hash after verifying
+// the bytes against the index. A corrupt object is quarantined — along
+// with every index entry referencing it — and reported as a miss, so
+// the caller recomputes instead of serving garbage.
+func (s *Store) Get(id string) (data []byte, sha string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sha, ok = s.index[id]
+	if !ok {
+		mMisses.Inc()
+		return nil, "", false
+	}
+	data, err := os.ReadFile(s.objectPath(sha))
+	if err != nil || hashOf(data) != sha {
+		s.rejectLocked(sha)
+		mMisses.Inc()
+		return nil, "", false
+	}
+	mHits.Inc()
+	return data, sha, true
+}
+
+// GetBySHA returns an object's bytes by content hash (the HTTP artifact
+// route), verified like Get. It counts neither hit nor miss: it is a
+// read of content already located, not a memoization probe.
+func (s *Store) GetBySHA(sha string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sizes[sha]; !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.objectPath(sha))
+	if err != nil || hashOf(data) != sha {
+		s.rejectLocked(sha)
+		return nil, false
+	}
+	return data, true
+}
+
+// Put publishes a key's artifact. Re-publishing identical bytes is an
+// idempotent ack (racing writers of a deterministic key converge);
+// different bytes under a live key is a conflict error and counts as a
+// verification failure — the caller surfaced a determinism violation,
+// and the original artifact stands.
+func (s *Store) Put(id string, data []byte) (sha string, err error) {
+	sha = hashOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.index[id]; ok {
+		if prev == sha {
+			return sha, nil
+		}
+		mVerifyFailures.Inc()
+		return "", fmt.Errorf("store: key %s already holds content %s; refusing conflicting publish %s (determinism violation?)", id, prev, sha)
+	}
+	if _, ok := s.sizes[sha]; !ok {
+		if err := atomicWrite(s.objectPath(sha), data); err != nil {
+			return "", err
+		}
+		s.sizes[sha] = int64(len(data))
+		s.bytes += int64(len(data))
+	}
+	if err := atomicWrite(s.indexPath(id), []byte(sha+"\n")); err != nil {
+		return "", err
+	}
+	s.index[id] = sha
+	mPublishes.Inc()
+	return sha, nil
+}
+
+// Reject quarantines a key's artifact: the object is moved aside and
+// every index entry referencing it is dropped. Used when content that
+// passed the hash check still fails structural decoding — the key reads
+// as a miss afterwards, so it can be recomputed and republished.
+func (s *Store) Reject(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sha, ok := s.index[id]; ok {
+		s.rejectLocked(sha)
+	}
+}
+
+// List returns the index sorted by key ID.
+func (s *Store) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.index))
+	for id, sha := range s.index {
+		out = append(out, Entry{ID: id, SHA256: sha, Size: s.sizes[sha]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats reports the index size and total object bytes.
+func (s *Store) Stats() (artifacts int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index), s.bytes
+}
+
+// GC reclaims space: unreferenced objects (their index entries were
+// quarantined or evicted) are always removed, and with budget > 0 the
+// store then evicts oldest-modified artifacts — index entry and, once
+// unreferenced, object — until total object bytes fit the budget.
+// Returns the number of objects removed and the bytes freed.
+func (s *Store) GC(budget int64) (removed int, freed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := map[string]int{}
+	for _, sha := range s.index {
+		refs[sha]++
+	}
+	for sha := range s.sizes {
+		if refs[sha] == 0 {
+			freed += s.dropObjectLocked(sha)
+			removed++
+		}
+	}
+	if budget <= 0 || s.bytes <= budget {
+		return removed, freed
+	}
+	// Over budget: evict whole artifacts oldest-first (object mtime, key
+	// ID as the deterministic tiebreaker).
+	type victim struct {
+		id  string
+		sha string
+		mt  time.Time
+	}
+	victims := make([]victim, 0, len(s.index))
+	for id, sha := range s.index {
+		info, err := os.Stat(s.objectPath(sha))
+		if err != nil {
+			continue
+		}
+		victims = append(victims, victim{id: id, sha: sha, mt: info.ModTime()})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].mt.Equal(victims[j].mt) {
+			return victims[i].mt.Before(victims[j].mt)
+		}
+		return victims[i].id < victims[j].id
+	})
+	for _, v := range victims {
+		if s.bytes <= budget {
+			break
+		}
+		os.Remove(s.indexPath(v.id))
+		delete(s.index, v.id)
+		refs[v.sha]--
+		if refs[v.sha] == 0 {
+			freed += s.dropObjectLocked(v.sha)
+			removed++
+		}
+		mEvictions.Inc()
+	}
+	return removed, freed
+}
+
+// WriteMetrics renders the store's instance-shaped gauges in Prometheus
+// text format (the counters live on the process-global registry).
+func (s *Store) WriteMetrics(w io.Writer) error {
+	artifacts, bytes := s.Stats()
+	_, err := fmt.Fprintf(w,
+		"# HELP dsmc_store_artifacts Artifacts indexed in the result store.\n"+
+			"# TYPE dsmc_store_artifacts gauge\n"+
+			"dsmc_store_artifacts %d\n"+
+			"# HELP dsmc_store_bytes Total object bytes held by the result store.\n"+
+			"# TYPE dsmc_store_bytes gauge\n"+
+			"dsmc_store_bytes %d\n", artifacts, bytes)
+	return err
+}
+
+// --- internals ---
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.root, "objects") }
+func (s *Store) indexDir() string      { return filepath.Join(s.root, "index") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
+
+func (s *Store) objectPath(sha string) string { return filepath.Join(s.objectsDir(), sha) }
+func (s *Store) indexPath(id string) string   { return filepath.Join(s.indexDir(), id) }
+
+// rejectLocked quarantines an object and drops every index entry
+// referencing it, counting one verification failure.
+func (s *Store) rejectLocked(sha string) {
+	mVerifyFailures.Inc()
+	s.quarantine(s.objectPath(sha))
+	if size, ok := s.sizes[sha]; ok {
+		s.bytes -= size
+		delete(s.sizes, sha)
+	}
+	var drop []string
+	for id, ref := range s.index {
+		if ref == sha {
+			drop = append(drop, id)
+		}
+	}
+	for _, id := range drop {
+		os.Remove(s.indexPath(id))
+		delete(s.index, id)
+	}
+}
+
+// dropObjectLocked removes an object file and its accounting.
+func (s *Store) dropObjectLocked(sha string) (size int64) {
+	os.Remove(s.objectPath(sha))
+	size = s.sizes[sha]
+	s.bytes -= size
+	delete(s.sizes, sha)
+	return size
+}
+
+// sweepOrphans moves every *.tmp under the root into quarantine. An
+// orphan is a crashed atomic write whose rename never happened — it is
+// garbage by construction, but quarantining instead of deleting keeps
+// the evidence for postmortems and guarantees it is never served.
+func (s *Store) sweepOrphans() error {
+	return filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == s.quarantineDir() {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".tmp") {
+			s.quarantine(path)
+		}
+		return nil
+	})
+}
+
+// quarantine moves a file into quarantine/, uniquifying the name if a
+// previous incident already used it. Best-effort: on failure the file
+// is removed outright, so a bad artifact never stays servable.
+func (s *Store) quarantine(path string) {
+	base := filepath.Base(path)
+	dst := filepath.Join(s.quarantineDir(), base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+}
+
+func hashOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func validSHA(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// atomicWrite writes via temp file + fsync + rename so a crash can
+// never leave a half-written object or index entry in place; the *.tmp
+// orphan a crash does leave is swept to quarantine on the next Open.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testOutput() *Output {
+	return &Output{
+		Fields: map[string][]float64{
+			"density":     {1.0, 2.5, 0.125},
+			"temperature": {0.5, 0.75, 1.5},
+		},
+		ShockAngleDeg: math.NaN(), // the reason JSON can't be the codec
+		Collisions:    42,
+		NFlow:         1234,
+	}
+}
+
+func TestKeyID(t *testing.T) {
+	k := Key{Kind: "out", Fp: 0xdeadbeef, Seed: 7, Point: 2, Replica: 11}
+	want := "out-00000000deadbeef-0000000000000007-p002-r011"
+	if got := k.ID(); got != want {
+		t.Fatalf("Key.ID() = %q, want %q", got, want)
+	}
+}
+
+func TestOutputCodecRoundTrip(t *testing.T) {
+	o := testOutput()
+	data := EncodeOutput(o)
+	back, err := DecodeOutput(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.ShockAngleDeg) || back.Collisions != 42 || back.NFlow != 1234 {
+		t.Fatalf("scalars did not round-trip: %+v", back)
+	}
+	for name, col := range o.Fields {
+		got := back.Fields[name]
+		if len(got) != len(col) {
+			t.Fatalf("field %q: %d cells, want %d", name, len(got), len(col))
+		}
+		for c := range col {
+			if math.Float64bits(got[c]) != math.Float64bits(col[c]) {
+				t.Fatalf("field %q cell %d: %v != %v", name, c, got[c], col[c])
+			}
+		}
+	}
+	// Canonical encoding: re-encoding the decoded value is byte-identical.
+	if string(EncodeOutput(back)) != string(data) {
+		t.Fatal("re-encoding is not canonical")
+	}
+	// Any flipped byte must fail the checksum, not decode quietly.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := DecodeOutput(bad); err == nil {
+		t.Fatal("flipped byte decoded without error")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Kind: "out", Fp: 1, Seed: 2, Point: 0, Replica: 0}.ID()
+	data := EncodeOutput(testOutput())
+	sha, err := s.Put(id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSHA, ok := s.Get(id)
+	if !ok || gotSHA != sha || string(got) != string(data) {
+		t.Fatalf("Get: ok=%v sha=%q", ok, gotSHA)
+	}
+	bySHA, ok := s.GetBySHA(sha)
+	if !ok || string(bySHA) != string(data) {
+		t.Fatal("GetBySHA did not return the object")
+	}
+	if n, b := s.Stats(); n != 1 || b != int64(len(data)) {
+		t.Fatalf("Stats = (%d, %d), want (1, %d)", n, b, len(data))
+	}
+	// A fresh Open over the same root sees the same index.
+	s2, err := Open(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s2.Get(id); !ok {
+		t.Fatal("reopened store lost the entry")
+	}
+}
+
+func TestPutIdempotentAndConflict(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Kind: "out", Fp: 1, Seed: 2}.ID()
+	data := EncodeOutput(testOutput())
+	sha1, err := s.Put(id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Racing writers of a deterministic key produce identical bytes: ack.
+	sha2, err := s.Put(id, append([]byte(nil), data...))
+	if err != nil || sha2 != sha1 {
+		t.Fatalf("idempotent Put: sha=%q err=%v", sha2, err)
+	}
+	// Different bytes under a live key is a detected determinism
+	// violation, not a silent overwrite.
+	other := testOutput()
+	other.Collisions++
+	if _, err := s.Put(id, EncodeOutput(other)); err == nil {
+		t.Fatal("conflicting Put succeeded")
+	}
+	if got, _, ok := s.Get(id); !ok || string(got) != string(data) {
+		t.Fatal("original artifact did not survive the conflicting publish")
+	}
+}
+
+func TestOpenQuarantinesTmpAndDangling(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Kind: "out", Fp: 9, Seed: 9}.ID()
+	if _, err := s.Put(id, EncodeOutput(testOutput())); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a torn atomic write and a dangling index entry, as a crash
+	// mid-publish would leave them.
+	torn := filepath.Join(dir, "objects", "deadbeef.tmp")
+	if err := os.WriteFile(torn, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dangling := Key{Kind: "out", Fp: 10, Seed: 10}.ID()
+	if err := os.WriteFile(filepath.Join(dir, "index", dangling), []byte(strings.Repeat("ab", 32)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn .tmp still in objects/")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "deadbeef.tmp")); err != nil {
+		t.Fatal("torn .tmp was not quarantined")
+	}
+	if _, _, ok := s2.Get(dangling); ok {
+		t.Fatal("dangling index entry served")
+	}
+	if _, _, ok := s2.Get(id); !ok {
+		t.Fatal("healthy entry lost during recovery")
+	}
+}
+
+func TestGetQuarantinesCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Kind: "out", Fp: 3, Seed: 4}.ID()
+	data := EncodeOutput(testOutput())
+	sha, err := s.Put(id, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte on disk (same size, so only the hash can tell).
+	path := filepath.Join(dir, "objects", sha)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	failures := mVerifyFailures.Value()
+	if _, _, ok := s.Get(id); ok {
+		t.Fatal("corrupt artifact served as a hit")
+	}
+	if mVerifyFailures.Value() != failures+1 {
+		t.Fatal("verification failure not counted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt object still in objects/")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", sha)); err != nil {
+		t.Fatal("corrupt object was not quarantined")
+	}
+	// The key is recomputable: a fresh publish of the true bytes works.
+	if _, err := s.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(id); !ok {
+		t.Fatal("republished artifact not served")
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shas []string
+	var ids []string
+	for i := 0; i < 3; i++ {
+		o := testOutput()
+		o.NFlow = i // distinct content per artifact
+		id := Key{Kind: "out", Fp: 1, Seed: 1, Replica: i}.ID()
+		sha, err := s.Put(id, EncodeOutput(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		shas = append(shas, sha)
+		// Stagger mtimes so eviction order is deterministic.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, "objects", sha), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = shas
+	// An object nothing references (its index entries were quarantined
+	// in a prior incident) is reclaimed by any GC pass.
+	stray := filepath.Join(dir, "objects", strings.Repeat("00", 32))
+	if err := os.WriteFile(stray, []byte("stray"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed, freed := s2.GC(0); removed != 1 || freed != 5 {
+		t.Fatalf("GC(0) = (%d, %d), want (1, 5)", removed, freed)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("unreferenced object survived GC")
+	}
+	// Budget that fits two of the three equally-sized artifacts: the
+	// oldest-modified one is evicted, the newer two survive.
+	_, total := s2.Stats()
+	evictions := mEvictions.Value()
+	if removed, freed := s2.GC(total * 2 / 3); removed != 1 || freed != total/3 {
+		t.Fatalf("budget GC = (%d, %d), want (1, %d)", removed, freed, total/3)
+	}
+	if mEvictions.Value() != evictions+1 {
+		t.Fatal("eviction not counted")
+	}
+	if _, _, ok := s2.Get(ids[0]); ok {
+		t.Fatal("oldest artifact survived the budget GC")
+	}
+	if _, _, ok := s2.Get(ids[1]); !ok {
+		t.Fatal("second artifact did not survive the budget GC")
+	}
+	if _, _, ok := s2.Get(ids[2]); !ok {
+		t.Fatal("newest artifact did not survive the budget GC")
+	}
+}
